@@ -1,0 +1,68 @@
+// Ablation B: bitvector filter implementation — exact hash set vs blocked
+// Bloom (at several bits/key) vs cuckoo. Reports workload CPU, filter
+// memory, and observed false-positive leakage (extra tuples passed versus
+// the exact filter).
+#include "bench_util.h"
+
+int main() {
+  using namespace bqo;
+  const double scale = ScaleFromEnv();
+  bench::PrintHeader(
+      "Ablation: filter implementation (TPC-DS, BQO plans)\n"
+      "CPU normalized to the exact-filter run.");
+
+  Workload w = MakeTpcdsLite(scale);
+
+  struct Config {
+    const char* label;
+    FilterConfig fc;
+  };
+  std::vector<Config> configs;
+  configs.push_back({"exact", FilterConfig{FilterKind::kExact, 10.0, 12}});
+  for (double bpk : {4.0, 8.0, 10.0, 14.0}) {
+    FilterConfig fc;
+    fc.kind = FilterKind::kBloom;
+    fc.bloom_bits_per_key = bpk;
+    configs.push_back({"", fc});
+  }
+  {
+    FilterConfig fc;
+    fc.kind = FilterKind::kCuckoo;
+    configs.push_back({"cuckoo-12b", fc});
+  }
+
+  std::printf("%-12s %12s %14s %16s\n", "filter", "CPU (norm)",
+              "filter MB", "passed tuples");
+  std::printf("%s\n", std::string(58, '-').c_str());
+
+  int64_t reference_ns = -1;
+  for (const Config& cfg : configs) {
+    RunOptions options;
+    options.repeats = 2;
+    options.execution.filter_config = cfg.fc;
+    const auto runs = RunWorkload(w, OptimizerMode::kBqoShallow, options);
+    int64_t total_ns = 0, bytes = 0, passed = 0;
+    for (const QueryRun& r : runs) {
+      total_ns += r.metrics.total_ns;
+      for (const auto& fs : r.metrics.filters) {
+        bytes += fs.size_bytes;
+        passed += fs.passed;
+      }
+    }
+    if (reference_ns < 0) reference_ns = total_ns;
+    std::string label = cfg.label;
+    if (label.empty()) {
+      label = StringFormat("bloom-%.0fbpk", cfg.fc.bloom_bits_per_key);
+    }
+    std::printf("%-12s %12.3f %14.2f %16s\n", label.c_str(),
+                static_cast<double>(total_ns) /
+                    static_cast<double>(reference_ns),
+                static_cast<double>(bytes) / 1e6,
+                FormatCount(passed).c_str());
+  }
+  std::printf(
+      "\nExpected shape: Bloom at ~10 bits/key matches exact CPU within a "
+      "few %% at a\nfraction of the memory; 4 bits/key leaks false "
+      "positives (more passed tuples).\n");
+  return 0;
+}

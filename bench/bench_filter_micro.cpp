@@ -1,0 +1,98 @@
+// Micro-benchmarks (google-benchmark) for the bitvector filter
+// implementations and the hash-join probe path: the per-tuple costs Cf
+// (filter check) and Cp (hash probe) that Section 6.3's lambda_thresh
+// formula is built from.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+#include "src/filter/bitvector_filter.h"
+
+namespace bqo {
+namespace {
+
+std::vector<uint64_t> MakeKeys(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> keys(static_cast<size_t>(n));
+  for (auto& k : keys) k = rng.Next();
+  return keys;
+}
+
+void BM_FilterInsert(benchmark::State& state) {
+  const auto kind = static_cast<FilterKind>(state.range(0));
+  const int64_t n = state.range(1);
+  const auto keys = MakeKeys(n, 1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    FilterConfig config;
+    config.kind = kind;
+    auto filter = CreateFilter(config, n);
+    state.ResumeTiming();
+    for (uint64_t k : keys) filter->Insert(k);
+    benchmark::DoNotOptimize(filter);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FilterInsert)
+    ->ArgsProduct({{0, 1, 2}, {1 << 10, 1 << 16, 1 << 20}})
+    ->ArgNames({"kind", "n"});
+
+void BM_FilterProbeHit(benchmark::State& state) {
+  const auto kind = static_cast<FilterKind>(state.range(0));
+  const int64_t n = state.range(1);
+  const auto keys = MakeKeys(n, 1);
+  FilterConfig config;
+  config.kind = kind;
+  auto filter = CreateFilter(config, n);
+  for (uint64_t k : keys) filter->Insert(k);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter->MayContain(keys[i]));
+    i = (i + 1) % keys.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FilterProbeHit)
+    ->ArgsProduct({{0, 1, 2}, {1 << 16, 1 << 20}})
+    ->ArgNames({"kind", "n"});
+
+void BM_FilterProbeMiss(benchmark::State& state) {
+  const auto kind = static_cast<FilterKind>(state.range(0));
+  const int64_t n = state.range(1);
+  const auto keys = MakeKeys(n, 1);
+  const auto probes = MakeKeys(n, 2);  // disjoint with overwhelming prob.
+  FilterConfig config;
+  config.kind = kind;
+  auto filter = CreateFilter(config, n);
+  for (uint64_t k : keys) filter->Insert(k);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter->MayContain(probes[i]));
+    i = (i + 1) % probes.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FilterProbeMiss)
+    ->ArgsProduct({{0, 1, 2}, {1 << 16, 1 << 20}})
+    ->ArgNames({"kind", "n"});
+
+void BM_CompositeHash(benchmark::State& state) {
+  const size_t width = static_cast<size_t>(state.range(0));
+  int64_t values[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    sink ^= HashComposite(values, width);
+    ++values[0];
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompositeHash)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+}  // namespace bqo
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Ablation D: query optimization overhead. The paper reports BQO's
+// optimization time at roughly one third of the original optimizer's
+// (join reordering is disabled on the transformed snowflake subplan, so
+// the search is linear rather than exponential).
+#include <algorithm>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace bqo;
+  const double scale = ScaleFromEnv();
+  bench::PrintHeader(
+      "Optimizer overhead: optimize-only time per query (no execution)");
+
+  std::printf("%-10s %-26s %12s %12s %12s\n", "workload", "mode",
+              "avg (us)", "p50 (us)", "max (us)");
+  std::printf("%s\n", std::string(78, '-').c_str());
+
+  for (int which = 0; which < 3; ++which) {
+    Workload w = bench::MakeWorkloadByIndex(which, scale * 0.2);
+    StatsCatalog stats(w.catalog.get());
+    for (OptimizerMode mode : {OptimizerMode::kBaselinePostProcess,
+                               OptimizerMode::kBqoShallow}) {
+      std::vector<int64_t> times;
+      for (const QuerySpec& spec : w.queries) {
+        auto graph = BuildJoinGraph(*w.catalog, spec);
+        BQO_CHECK(graph.ok());
+        OptimizerOptions opt;
+        opt.mode = mode;
+        const OptimizedQuery q = OptimizeQuery(graph.value(), &stats, opt);
+        times.push_back(q.optimize_ns);
+      }
+      std::sort(times.begin(), times.end());
+      int64_t total = 0;
+      for (int64_t t : times) total += t;
+      std::printf("%-10s %-26s %12.1f %12.1f %12.1f\n", w.name.c_str(),
+                  OptimizerModeName(mode),
+                  static_cast<double>(total) /
+                      static_cast<double>(times.size()) / 1e3,
+                  static_cast<double>(times[times.size() / 2]) / 1e3,
+                  static_cast<double>(times.back()) / 1e3);
+    }
+  }
+  std::printf(
+      "\nPaper: with the transformation rule, optimization time drops to "
+      "~1/3 of the\noriginal optimizer's (reordering disabled on the "
+      "transformed subplan). The\neffect is largest on the high-join "
+      "CUSTOMER workload.\n");
+  return 0;
+}

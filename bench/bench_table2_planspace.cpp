@@ -1,0 +1,116 @@
+// Table 2: plan-space complexity for star and snowflake queries with
+// unique-key (PKFK) joins in the space of right deep trees without cross
+// products.
+//
+// For each shape and size this binary reports:
+//  * the full plan-space size (exponential in n — the "original
+//    complexity" column),
+//  * the candidate-set size from the paper's analysis (n + 1),
+//  * verification that the candidate set contains a plan of globally
+//    minimal exact Cout (the theorems' claim), for sizes where exhaustive
+//    search is affordable.
+#include "bench_util.h"
+#include "src/exec/exact_cout.h"
+#include "src/plan/enumerate.h"
+#include "src/plan/pushdown.h"
+#include "tests/test_util.h"
+
+namespace bqo {
+namespace {
+
+double PlanCout(const JoinGraph& graph, const std::vector<int>& order) {
+  Plan plan = BuildRightDeepPlan(graph, order);
+  PushDownBitvectors(&plan);
+  ExactCoutModel model;
+  return model.Cout(plan);
+}
+
+double MinOver(const JoinGraph& graph,
+               const std::vector<std::vector<int>>& orders) {
+  double best = -1;
+  for (const auto& o : orders) {
+    const double c = PlanCout(graph, o);
+    if (best < 0 || c < best) best = c;
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace bqo
+
+int main() {
+  using namespace bqo;
+  using bqo::testing::MakeSnowflakeDb;
+  using bqo::testing::MakeStarDb;
+  bench::PrintHeader(
+      "Table 2: plan space complexity, star & snowflake queries with PKFK "
+      "joins\n(right deep trees without cross products)");
+
+  std::printf("%-10s %-6s %14s %12s %22s\n", "shape", "n+1", "full space",
+              "candidates", "min-in-candidates?");
+  std::printf("%s\n", std::string(70, '-').c_str());
+
+  // Star queries, n = 2..7 dimensions.
+  for (int n = 2; n <= 7; ++n) {
+    auto db = MakeStarDb(n, 800, 40, {0.2, 0.7, 0.4, 0.9, 0.3, 0.6, 0.5},
+                         static_cast<uint64_t>(100 + n));
+    auto graph = db->Graph();
+    BQO_CHECK(graph.ok());
+    const size_t full = CountRightDeepOrders(graph.value(), 10000000);
+    const auto candidates = StarCandidateOrders(graph.value(), 0);
+    std::string verdict = "(skipped: space too large)";
+    if (full <= 20000) {
+      const double global =
+          MinOver(graph.value(), EnumerateRightDeepOrders(graph.value()));
+      const double cand = MinOver(graph.value(), candidates);
+      verdict = cand <= global + 1e-6 ? "yes" : "NO <-- VIOLATION";
+    }
+    std::printf("%-10s %-6d %14s %12zu %22s\n",
+                StringFormat("star-%d", n).c_str(), n + 1,
+                FormatCount(static_cast<int64_t>(full)).c_str(),
+                candidates.size(), verdict.c_str());
+  }
+
+  // Snowflake queries of several branch shapes.
+  struct Shape {
+    std::vector<int> branches;
+  };
+  const Shape shapes[] = {{{2, 1}}, {{2, 2}}, {{2, 2, 1}}, {{3, 2}},
+                          {{2, 2, 2}}, {{3, 2, 2}}};
+  for (const Shape& s : shapes) {
+    auto db = MakeSnowflakeDb(s.branches, 1000, 50, 0.6, {0.2, 0.5, 0.4},
+                              77);
+    auto graph = db->Graph();
+    BQO_CHECK(graph.ok());
+    SnowflakeShape shape;
+    shape.fact = 0;
+    int next = 1;
+    for (int len : s.branches) {
+      std::vector<int> b;
+      for (int j = 0; j < len; ++j) b.push_back(next++);
+      shape.branches.push_back(std::move(b));
+    }
+    const size_t full = CountRightDeepOrders(graph.value(), 10000000);
+    const auto candidates = SnowflakeCandidateOrders(shape);
+    std::string verdict = "(skipped: space too large)";
+    if (full <= 20000) {
+      const double global =
+          MinOver(graph.value(), EnumerateRightDeepOrders(graph.value()));
+      const double cand = MinOver(graph.value(), candidates);
+      verdict = cand <= global + 1e-6 ? "yes" : "NO <-- VIOLATION";
+    }
+    std::vector<std::string> parts;
+    for (int len : s.branches) parts.push_back(std::to_string(len));
+    std::printf("%-10s %-6d %14s %12zu %22s\n",
+                ("snow-" + JoinStrings(parts, ",")).c_str(),
+                shape.TotalRelations(),
+                FormatCount(static_cast<int64_t>(full)).c_str(),
+                candidates.size(), verdict.c_str());
+  }
+
+  std::printf(
+      "\nPaper: full space is exponential in n; the analysis reduces the\n"
+      "search to n+1 candidate plans containing a minimal-Cout plan\n"
+      "(Theorems 4.1/4.2 for stars, 5.1/5.2 for snowflakes).\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Table 3: statistics of the evaluation workloads — database size, table /
+// query counts, (emulated) physical design, and joins per query.
+//
+// The paper's absolute sizes (100GB / 7GB / 700GB) are scaled to laptop
+// footprints; topology statistics (tables, queries, joins) match the
+// paper's shape. See DESIGN.md "Substitutions".
+#include "bench_util.h"
+
+int main() {
+  using namespace bqo;
+  const double scale = ScaleFromEnv();
+  bench::PrintHeader("Table 3: statistics of workloads");
+
+  std::printf("%-22s %12s %12s %12s\n", "Statistics", "TPC-DS", "JOB",
+              "CUSTOMER");
+  std::printf("%s\n", std::string(62, '-').c_str());
+
+  Workload w[3] = {MakeTpcdsLite(scale), MakeJobLite(scale),
+                   MakeCustomerLite(scale)};
+
+  auto row = [&](const char* label, auto getter) {
+    std::printf("%-22s %12s %12s %12s\n", label, getter(w[0]).c_str(),
+                getter(w[1]).c_str(), getter(w[2]).c_str());
+  };
+  row("DB size", [](const Workload& x) {
+    return StringFormat("%.1f MB",
+                        static_cast<double>(x.DatabaseBytes()) / 1e6);
+  });
+  row("Tables", [](const Workload& x) {
+    return std::to_string(x.catalog->num_tables());
+  });
+  row("Queries", [](const Workload& x) {
+    return std::to_string(x.queries.size());
+  });
+  row("B+ trees (emulated)", [](const Workload& x) {
+    return std::to_string(x.emulated_btree_indexes);
+  });
+  row("Columnstores (emul.)", [](const Workload& x) {
+    return std::to_string(x.emulated_columnstores);
+  });
+  row("Joins avg", [](const Workload& x) {
+    return StringFormat("%.1f", x.AvgJoins());
+  });
+  row("Joins max", [](const Workload& x) {
+    return std::to_string(x.MaxJoins());
+  });
+
+  std::printf(
+      "\nPaper reference: TPC-DS 100GB/25 tables/99 queries/7.9 avg joins;\n"
+      "JOB 7GB/21/113/7.7; CUSTOMER 700GB/475/100/30.3 avg, 80 max.\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// The paper's motivating example (Figure 2), reproduced end to end.
+//
+// Query (JOB schema): SELECT COUNT(*)
+//   FROM movie_keyword mk, title t, keyword k
+//   WHERE mk.movie_id = t.id AND mk.keyword_id = k.id
+//     AND t.title LIKE '%(' AND k.keyword LIKE '%ge%'
+//
+// The point: to a bitvector-blind optimizer, P1 = T(mk, t, k) and
+// P2 = T(t, mk, k) are indistinguishable (same intermediate sizes), and
+// richer blind cost models actively prefer P1 (it builds the small hash
+// table). Once bitvector filters are considered, P2 is several times
+// cheaper: the filter from keyword prunes movie_keyword BEFORE it is built
+// into a hash table, and that reduced build's filter then prunes the big
+// title scan. An optimizer that adds filters as a post-processing step is
+// stuck with P1 and leaves that factor on the table (the paper measures 3x).
+#include <cstdio>
+
+#include "src/exec/exact_cout.h"
+#include "src/exec/executor.h"
+#include "src/plan/pushdown.h"
+#include "src/workload/datagen.h"
+#include "src/workload/query.h"
+
+using namespace bqo;
+
+namespace {
+
+struct Measured {
+  double cout = 0;
+  double cpu_ms = 0;
+  CoutBreakdown breakdown;
+};
+
+Measured Measure(const JoinGraph& graph, const std::vector<int>& order,
+                 bool with_filters) {
+  Plan plan = BuildRightDeepPlan(graph, order);
+  if (with_filters) {
+    PushDownBitvectors(&plan);
+  } else {
+    ClearBitvectors(&plan);
+  }
+  ExactCoutModel exact;
+  Measured m;
+  m.breakdown = exact.Compute(plan);
+  m.cout = m.breakdown.total;
+  ExecutionOptions exec;
+  exec.use_bitvectors = with_filters;
+  double best = -1;
+  for (int rep = 0; rep < 3; ++rep) {
+    const QueryMetrics qm = ExecutePlan(plan, exec);
+    const double ms = static_cast<double>(qm.total_ns) / 1e6;
+    if (best < 0 || ms < best) best = ms;
+  }
+  m.cpu_ms = best;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  Catalog catalog;
+  Rng rng(2020);
+
+  // JOB-realistic shapes: title is LARGE and only weakly filtered
+  // (LIKE '%(' keeps most rows); keyword is tiny and highly selective;
+  // movie_keyword is the big relationship fact.
+  TableGenSpec title;
+  title.name = "title";
+  title.rows = 150000;
+  GenerateTable(&catalog, title, &rng);
+  TableGenSpec keyword;
+  keyword.name = "keyword";
+  keyword.rows = 20000;
+  GenerateTable(&catalog, keyword, &rng);
+  TableGenSpec mk;
+  mk.name = "movie_keyword";
+  mk.rows = 600000;
+  mk.with_pk = false;
+  mk.with_label = false;
+  mk.fks = {FkSpec{"title_fk", "title", "title_id", 0.4, 0.0},
+            FkSpec{"keyword_fk", "keyword", "keyword_id", 0.9, 0.0}};
+  GenerateTable(&catalog, mk, &rng);
+
+  QuerySpec query;
+  query.name = "fig2";
+  query.relations = {
+      {"mk", "movie_keyword", nullptr},
+      {"t", "title", Lt("attr0", 900)},   // ~90%: weak, like LIKE '%('
+      {"k", "keyword", Lt("attr0", 10)},  // ~1%: strong, like '%ge%'
+  };
+  query.joins = {{"mk", "title_fk", "t", "title_id"},
+                 {"mk", "keyword_fk", "k", "keyword_id"}};
+
+  auto graph_result = BuildJoinGraph(catalog, query);
+  BQO_CHECK(graph_result.ok());
+  const JoinGraph& graph = graph_result.value();
+
+  std::printf("Figure 2: why bitvector filters must be considered DURING "
+              "optimization\n\n");
+
+  const std::vector<int> p1 = {0, 1, 2};  // T(mk, t, k)
+  const std::vector<int> p2 = {1, 0, 2};  // T(t, mk, k)
+
+  const Measured p1_bare = Measure(graph, p1, false);
+  const Measured p2_bare = Measure(graph, p2, false);
+  const Measured p1_filt = Measure(graph, p1, true);
+  const Measured p2_filt = Measure(graph, p2, true);
+
+  std::printf("%-34s %14s %10s\n", "plan", "exact Cout", "CPU (ms)");
+  std::printf("%s\n", std::string(62, '-').c_str());
+  std::printf("%-34s %14.0f %10.2f\n", "P1 = T(mk, t, k), no filters",
+              p1_bare.cout, p1_bare.cpu_ms);
+  std::printf("%-34s %14.0f %10.2f\n", "P2 = T(t, mk, k), no filters",
+              p2_bare.cout, p2_bare.cpu_ms);
+  std::printf("%-34s %14.0f %10.2f   <- post-processing lands here\n",
+              "P1 + filters (post-processed)", p1_filt.cout, p1_filt.cpu_ms);
+  std::printf("%-34s %14.0f %10.2f   <- bitvector-aware choice\n",
+              "P2 + filters (BQO)", p2_filt.cout, p2_filt.cpu_ms);
+
+  std::printf(
+      "\nWithout filters the two orders are indistinguishable under Cout\n"
+      "(%.0f vs %.0f), and a richer blind cost model prefers P1: it builds\n"
+      "its hash table from the small side (measured: P1 %.2f ms vs P2 %.2f "
+      "ms).\n",
+      p1_bare.cout, p2_bare.cout, p1_bare.cpu_ms, p2_bare.cpu_ms);
+  std::printf(
+      "\nWith filters the ranking flips: P2's Cout is %.1fx smaller than\n"
+      "post-processed P1 (%.0f vs %.0f; paper reports ~3x) because the\n"
+      "keyword filter prunes movie_keyword BEFORE the hash build, and the\n"
+      "reduced build's filter then prunes the 135K-row title scan.\n",
+      p1_filt.cout / p2_filt.cout, p2_filt.cout, p1_filt.cout);
+  std::printf("Measured CPU: post-processed P1 %.2f ms vs BQO P2 %.2f ms "
+              "(%.1fx).\n",
+              p1_filt.cpu_ms, p2_filt.cpu_ms,
+              p1_filt.cpu_ms / p2_filt.cpu_ms);
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Multi-fact ("galaxy") optimization with Algorithm 3 (Section 6.2).
+//
+// Two fact tables (orders, shipments) share the customer dimension and have
+// private dimensions of their own. The example shows the building blocks —
+// fact detection, snowflake extraction — and then compares the plans and
+// true costs of the baseline post-processing optimizer vs BQO.
+#include <cstdio>
+
+#include "src/exec/exact_cout.h"
+#include "src/exec/executor.h"
+#include "src/optimizer/optimizer.h"
+#include "src/optimizer/snowflake.h"
+#include "src/workload/datagen.h"
+#include "src/workload/query.h"
+
+using namespace bqo;
+
+int main() {
+  Catalog catalog;
+  Rng rng(99);
+
+  for (const char* d : {"customer", "product", "carrier", "region"}) {
+    TableGenSpec spec;
+    spec.name = d;
+    spec.rows = d == std::string("customer") ? 5000 : 800;
+    GenerateTable(&catalog, spec, &rng);
+  }
+  {
+    TableGenSpec orders;
+    orders.name = "orders";
+    orders.rows = 150000;
+    orders.with_pk = false;
+    orders.with_label = false;
+    orders.fks = {FkSpec{"customer_fk", "customer", "customer_id", 0.5, 0.0},
+                  FkSpec{"product_fk", "product", "product_id", 0.8, 0.0}};
+    GenerateTable(&catalog, orders, &rng);
+  }
+  {
+    TableGenSpec shipments;
+    shipments.name = "shipments";
+    shipments.rows = 120000;
+    shipments.with_pk = false;
+    shipments.with_label = false;
+    shipments.fks = {
+        FkSpec{"customer_fk", "customer", "customer_id", 0.5, 0.0},
+        FkSpec{"carrier_fk", "carrier", "carrier_id", 0.0, 0.0},
+        FkSpec{"region_fk", "region", "region_id", 0.3, 0.0}};
+    GenerateTable(&catalog, shipments, &rng);
+  }
+
+  QuerySpec query;
+  query.name = "galaxy";
+  query.relations = {{"orders", "orders", nullptr},
+                     {"shipments", "shipments", nullptr},
+                     {"customer", "customer", Lt("attr0", 80)},
+                     {"product", "product", LikeContains("label", "pro")},
+                     {"carrier", "carrier", nullptr},
+                     {"region", "region", Lt("attr0", 200)}};
+  query.joins = {{"orders", "customer_fk", "customer", "customer_id"},
+                 {"shipments", "customer_fk", "customer", "customer_id"},
+                 {"orders", "product_fk", "product", "product_id"},
+                 {"shipments", "carrier_fk", "carrier", "carrier_id"},
+                 {"shipments", "region_fk", "region", "region_id"}};
+
+  auto graph_result = BuildJoinGraph(catalog, query);
+  BQO_CHECK(graph_result.ok());
+  const JoinGraph& graph = graph_result.value();
+  std::printf("%s\n\n", graph.ToString().c_str());
+
+  // ---- Building blocks of Algorithm 3 ----
+  auto units = MakeLeafUnits(graph);
+  std::vector<int> active;
+  for (size_t i = 0; i < units.size(); ++i) {
+    active.push_back(static_cast<int>(i));
+  }
+  const auto facts = FindFactUnits(graph, units, active);
+  std::printf("Fact tables detected (never referenced via a unique key):\n");
+  for (int f : facts) {
+    std::printf("  %s (|filtered| = %.0f)\n",
+                graph.relation(units[static_cast<size_t>(f)].SingleRelation())
+                    .alias.c_str(),
+                units[static_cast<size_t>(f)].est_card);
+  }
+  const int first_fact = facts[1];  // shipments is smaller
+  const auto members = ExpandSnowflake(graph, units, active, first_fact);
+  std::printf("Snowflake extracted around '%s':",
+              graph.relation(units[static_cast<size_t>(first_fact)]
+                                 .SingleRelation())
+                  .alias.c_str());
+  for (int m : members) {
+    std::printf(" %s",
+                graph.relation(units[static_cast<size_t>(m)].SingleRelation())
+                    .alias.c_str());
+  }
+  std::printf("\n\n");
+
+  // ---- Baseline vs BQO ----
+  StatsCatalog stats(&catalog);
+  ExactCoutModel exact;
+  for (OptimizerMode mode : {OptimizerMode::kBaselinePostProcess,
+                             OptimizerMode::kBqoShallow,
+                             OptimizerMode::kAlternativePlan}) {
+    OptimizerOptions options;
+    options.mode = mode;
+    OptimizedQuery q = OptimizeQuery(graph, &stats, options);
+    const QueryMetrics m = ExecutePlan(q.plan);
+    std::printf("%-26s  %-44s exact Cout %9.0f  cpu %6.2f ms\n",
+                OptimizerModeName(mode), q.plan.Signature().c_str(),
+                exact.Cout(q.plan), static_cast<double>(m.total_ns) / 1e6);
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// 64-bit hashing primitives shared by the bitvector filters, join hash
+// tables, and dictionary encoding.
+//
+// We use strong finalizer-style mixers (SplitMix64 / Murmur3 fmix64) rather
+// than std::hash, because std::hash<int64_t> is the identity on libstdc++ and
+// would make the Bloom-filter false-positive analysis meaningless.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace bqo {
+
+/// \brief Murmur3 64-bit finalizer; full avalanche over the input bits.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// \brief Hash a 64-bit value with a seed (distinct hash families per seed).
+inline uint64_t HashValue(uint64_t x, uint64_t seed = 0) {
+  return Mix64(x + 0x9e3779b97f4a7c15ULL * (seed + 1));
+}
+
+/// \brief Combine two hashes (order-dependent), boost::hash_combine style
+/// but with a 64-bit golden-ratio constant and an extra mix.
+inline uint64_t HashCombine(uint64_t h, uint64_t v) {
+  h ^= Mix64(v) + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4);
+  return h;
+}
+
+/// \brief FNV-1a over raw bytes; used for string dictionary hashing.
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+/// \brief Hash a composite key of n 64-bit column values.
+///
+/// Bitvector filters over multi-column join keys (e.g. the filter built from
+/// the join of A and C in Figure 1 of the paper) hash the concatenation of
+/// the key columns in edge order.
+inline uint64_t HashComposite(const int64_t* values, size_t n,
+                              uint64_t seed = 0) {
+  uint64_t h = Mix64(seed + 0x51afd7ed558ccd00ULL);
+  for (size_t i = 0; i < n; ++i) {
+    h = HashCombine(h, static_cast<uint64_t>(values[i]));
+  }
+  return h;
+}
+
+}  // namespace bqo

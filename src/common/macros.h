@@ -1,0 +1,48 @@
+// Assertion and utility macros used throughout the library.
+//
+// BQO_CHECK-style macros are always on (they guard invariants whose violation
+// would corrupt results); BQO_DCHECK compiles away in NDEBUG builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define BQO_LIKELY(x) (__builtin_expect(!!(x), 1))
+#define BQO_UNLIKELY(x) (__builtin_expect(!!(x), 0))
+
+#define BQO_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (BQO_UNLIKELY(!(cond))) {                                            \
+      std::fprintf(stderr, "BQO_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define BQO_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (BQO_UNLIKELY(!(cond))) {                                            \
+      std::fprintf(stderr, "BQO_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define BQO_CHECK_EQ(a, b) BQO_CHECK((a) == (b))
+#define BQO_CHECK_NE(a, b) BQO_CHECK((a) != (b))
+#define BQO_CHECK_LT(a, b) BQO_CHECK((a) < (b))
+#define BQO_CHECK_LE(a, b) BQO_CHECK((a) <= (b))
+#define BQO_CHECK_GT(a, b) BQO_CHECK((a) > (b))
+#define BQO_CHECK_GE(a, b) BQO_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define BQO_DCHECK(cond) ((void)0)
+#define BQO_DCHECK_EQ(a, b) ((void)0)
+#define BQO_DCHECK_LT(a, b) ((void)0)
+#define BQO_DCHECK_LE(a, b) ((void)0)
+#else
+#define BQO_DCHECK(cond) BQO_CHECK(cond)
+#define BQO_DCHECK_EQ(a, b) BQO_CHECK_EQ(a, b)
+#define BQO_DCHECK_LT(a, b) BQO_CHECK_LT(a, b)
+#define BQO_DCHECK_LE(a, b) BQO_CHECK_LE(a, b)
+#endif

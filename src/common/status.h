@@ -1,0 +1,107 @@
+// Lightweight Status / Result<T> error-propagation types.
+//
+// The library does not throw exceptions across public API boundaries
+// (following the Arrow / RocksDB idiom). Functions that can fail on user
+// input return Status or Result<T>; internal invariants use BQO_CHECK.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "src/common/macros.h"
+
+namespace bqo {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kInternal,
+  kNotImplemented,
+};
+
+/// \brief Outcome of an operation that can fail on user input.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status) : value_(std::move(status)) {  // NOLINT implicit
+    BQO_CHECK_MSG(!std::get<Status>(value_).ok(),
+                  "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(value_);
+  }
+
+  T& value() {
+    BQO_CHECK_MSG(ok(), "Result::value() on error result");
+    return std::get<T>(value_);
+  }
+  const T& value() const {
+    BQO_CHECK_MSG(ok(), "Result::value() on error result");
+    return std::get<T>(value_);
+  }
+
+  T ValueOrDie() && {
+    BQO_CHECK_MSG(ok(), "Result::ValueOrDie() on error result");
+    return std::move(std::get<T>(value_));
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+#define BQO_RETURN_NOT_OK(expr)             \
+  do {                                      \
+    ::bqo::Status _st = (expr);             \
+    if (BQO_UNLIKELY(!_st.ok())) return _st; \
+  } while (0)
+
+}  // namespace bqo

@@ -1,0 +1,48 @@
+#include "src/common/string_util.h"
+
+#include <cstdio>
+
+namespace bqo {
+
+bool Contains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string StringFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out(needed > 0 ? needed : 0, '\0');
+  if (needed > 0) {
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string FormatCount(int64_t n) {
+  std::string digits = std::to_string(n < 0 ? -n : n);
+  std::string out;
+  const int len = static_cast<int>(digits.size());
+  for (int i = 0; i < len; ++i) {
+    if (i > 0 && (len - i) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  if (n < 0) out.insert(out.begin(), '-');
+  return out;
+}
+
+}  // namespace bqo

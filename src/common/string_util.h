@@ -1,0 +1,25 @@
+// Small string helpers shared by plan printing and workload generation.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bqo {
+
+/// \brief True if `haystack` contains `needle` (SQL `LIKE '%needle%'`).
+bool Contains(std::string_view haystack, std::string_view needle);
+
+/// \brief Join the elements of `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// \brief printf-style formatting into a std::string.
+std::string StringFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// \brief Format a number with thousands separators, e.g. 1234567 -> 1,234,567.
+std::string FormatCount(int64_t n);
+
+}  // namespace bqo

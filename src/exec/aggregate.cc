@@ -1,0 +1,82 @@
+#include "src/exec/aggregate.h"
+
+#include "src/common/hash.h"
+
+namespace bqo {
+
+AggregateOperator::AggregateOperator(
+    std::unique_ptr<PhysicalOperator> child, AggSpec spec)
+    : child_(std::move(child)), spec_(spec) {
+  stats_.type = OperatorType::kAggregate;
+  stats_.label = "aggregate";
+  if (spec_.kind == AggKind::kSum) {
+    sum_pos_ = child_->output_schema().PositionOf(spec_.sum_column);
+    BQO_CHECK_MSG(sum_pos_ >= 0, "SUM column missing from child schema");
+  }
+  if (spec_.has_group_by) {
+    group_pos_ = child_->output_schema().PositionOf(spec_.group_column);
+    BQO_CHECK_MSG(group_pos_ >= 0, "GROUP BY column missing from child");
+  }
+  // Output schema: (group key,) aggregate value — synthetic bound columns.
+  std::vector<BoundColumn> out_cols;
+  if (spec_.has_group_by) out_cols.push_back(spec_.group_column);
+  schema_ = OutputSchema(std::move(out_cols));
+}
+
+void AggregateOperator::Open() {
+  TimerGuard timer(&stats_);
+  child_->Open();
+  groups_.clear();
+  total_ = 0;
+  checksum_ = 0;
+  emitted_ = false;
+
+  Batch batch;
+  while (child_->Next(&batch)) {
+    for (int r = 0; r < batch.num_rows; ++r) {
+      const int64_t v =
+          spec_.kind == AggKind::kSum
+              ? batch.columns[static_cast<size_t>(sum_pos_)]
+                             [static_cast<size_t>(r)]
+              : 1;
+      if (spec_.has_group_by) {
+        const int64_t g = batch.columns[static_cast<size_t>(group_pos_)]
+                                       [static_cast<size_t>(r)];
+        groups_[g] += v;
+      }
+      total_ += v;
+    }
+  }
+
+  // Order-independent checksum: XOR-sum of hashed (group, value) pairs.
+  if (spec_.has_group_by) {
+    for (const auto& [g, v] : groups_) {
+      checksum_ += Mix64(HashCombine(HashValue(static_cast<uint64_t>(g)),
+                                     static_cast<uint64_t>(v)));
+    }
+  } else {
+    checksum_ = HashValue(static_cast<uint64_t>(total_));
+  }
+}
+
+bool AggregateOperator::Next(Batch* out) {
+  TimerGuard timer(&stats_);
+  out->Reset(schema_.size());
+  if (emitted_) return false;
+  emitted_ = true;
+  if (spec_.has_group_by) {
+    for (const auto& [g, v] : groups_) {
+      (void)v;
+      out->columns[0].push_back(g);
+      ++out->num_rows;
+    }
+  } else {
+    out->num_rows = 1;
+  }
+  stats_.rows_out += out->num_rows;
+  return out->num_rows > 0;
+}
+
+void AggregateOperator::Close() { child_->Close(); }
+
+}  // namespace bqo

@@ -1,0 +1,55 @@
+// Aggregation: COUNT(*) / SUM(col), optionally grouped by one column.
+//
+// Decision-support queries end in an aggregate; its output also provides an
+// order-independent checksum used by the tests to prove that different join
+// orders (and filter placements) compute the same result.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "src/exec/operator.h"
+
+namespace bqo {
+
+enum class AggKind : uint8_t { kCountStar, kSum };
+
+struct AggSpec {
+  AggKind kind = AggKind::kCountStar;
+  BoundColumn sum_column;    ///< kSum only
+  bool has_group_by = false;
+  BoundColumn group_column;  ///< if has_group_by
+};
+
+class AggregateOperator final : public PhysicalOperator {
+ public:
+  AggregateOperator(std::unique_ptr<PhysicalOperator> child, AggSpec spec);
+
+  void Open() override;
+  bool Next(Batch* out) override;
+  void Close() override;
+
+  std::vector<PhysicalOperator*> children() override {
+    return {child_.get()};
+  }
+
+  /// \brief Order-independent hash of the full result set.
+  uint64_t ResultChecksum() const { return checksum_; }
+  int64_t NumGroups() const { return static_cast<int64_t>(groups_.size()); }
+  /// \brief Total aggregate value (sum over groups); COUNT(*) of the join
+  /// when ungrouped.
+  int64_t TotalValue() const { return total_; }
+
+ private:
+  std::unique_ptr<PhysicalOperator> child_;
+  AggSpec spec_;
+  int sum_pos_ = -1;
+  int group_pos_ = -1;
+
+  std::unordered_map<int64_t, int64_t> groups_;
+  int64_t total_ = 0;
+  uint64_t checksum_ = 0;
+  bool emitted_ = false;
+};
+
+}  // namespace bqo

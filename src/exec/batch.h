@@ -1,0 +1,68 @@
+// Execution batches: fixed-capacity column-oriented tuple blocks.
+//
+// The engine is int64-only at runtime: join keys and integer attributes are
+// raw values, string columns travel as dictionary codes (string predicates
+// are resolved to code sets at scan time), and measures are int64. This
+// keeps the hot loops branch-light and makes composite-key hashing uniform.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/plan/plan.h"
+
+namespace bqo {
+
+inline constexpr int kBatchSize = 1024;
+
+/// \brief A block of up to kBatchSize tuples in columnar layout.
+struct Batch {
+  /// columns[c][r] = value of output column c in row r.
+  std::vector<std::vector<int64_t>> columns;
+  int num_rows = 0;
+
+  void Reset(int num_columns) {
+    columns.resize(static_cast<size_t>(num_columns));
+    for (auto& col : columns) {
+      col.clear();
+      col.reserve(kBatchSize);
+    }
+    num_rows = 0;
+  }
+
+  bool Full() const { return num_rows >= kBatchSize; }
+};
+
+/// \brief Deterministic ordering for output schemas.
+inline bool BoundColumnLess(const BoundColumn& a, const BoundColumn& b) {
+  if (a.rel != b.rel) return a.rel < b.rel;
+  return a.column < b.column;
+}
+
+/// \brief An ordered, duplicate-free output schema of bound columns.
+class OutputSchema {
+ public:
+  OutputSchema() = default;
+  explicit OutputSchema(std::vector<BoundColumn> cols) : cols_(std::move(cols)) {
+    std::sort(cols_.begin(), cols_.end(), BoundColumnLess);
+    cols_.erase(std::unique(cols_.begin(), cols_.end()), cols_.end());
+  }
+
+  int size() const { return static_cast<int>(cols_.size()); }
+  const BoundColumn& col(int i) const { return cols_[static_cast<size_t>(i)]; }
+  const std::vector<BoundColumn>& cols() const { return cols_; }
+
+  /// \brief Position of `c` in this schema, or -1.
+  int PositionOf(const BoundColumn& c) const {
+    for (size_t i = 0; i < cols_.size(); ++i) {
+      if (cols_[i] == c) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+ private:
+  std::vector<BoundColumn> cols_;
+};
+
+}  // namespace bqo

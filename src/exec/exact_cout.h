@@ -1,0 +1,22 @@
+// Exact Cout model: executes the plan with ideal (no-false-positive)
+// bitvector filters and reads true intermediate cardinalities off the
+// operator counters.
+//
+// This realizes the exact setting of the paper's analysis (Sections 4-5):
+// Theorems 4.1/5.1/5.3 are statements about true cardinalities under
+// filters with no false positives, so the validation experiments (and
+// Table 2) must be driven by this model, not by estimates.
+#pragma once
+
+#include "src/plan/cout.h"
+
+namespace bqo {
+
+class ExactCoutModel : public CoutModel {
+ public:
+  ExactCoutModel() = default;
+
+  CoutBreakdown Compute(const Plan& plan) override;
+};
+
+}  // namespace bqo

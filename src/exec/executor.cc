@@ -1,0 +1,230 @@
+#include "src/exec/executor.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/common/string_util.h"
+#include "src/exec/hash_join.h"
+#include "src/exec/merge_join.h"
+#include "src/exec/scan.h"
+
+namespace bqo {
+
+namespace {
+
+/// Key columns of a filter or join edge, in the canonical (sorted-edge,
+/// declared-column) order also used by MakeFilterFor in pushdown.cc. The
+/// build and probe sequences are pairwise aligned so composite hashes match.
+struct KeyColumns {
+  std::vector<BoundColumn> build;
+  std::vector<BoundColumn> probe;
+};
+
+KeyColumns JoinKeyColumns(const Plan& plan, const PlanNode& join) {
+  const JoinGraph& graph = *plan.graph;
+  KeyColumns keys;
+  std::vector<int> edge_ids = join.edge_ids;
+  std::sort(edge_ids.begin(), edge_ids.end());
+  for (int eid : edge_ids) {
+    const JoinEdge& e = graph.edge(eid);
+    const bool left_in_build = RelSetContains(join.build->rel_set, e.left);
+    for (size_t i = 0; i < e.left_cols.size(); ++i) {
+      BoundColumn l{e.left, e.left_cols[i]};
+      BoundColumn r{e.right, e.right_cols[i]};
+      keys.build.push_back(left_in_build ? l : r);
+      keys.probe.push_back(left_in_build ? r : l);
+    }
+  }
+  return keys;
+}
+
+bool FilterActive(const Plan& plan, int filter_id,
+                  const ExecutionOptions& options) {
+  return options.use_bitvectors &&
+         !plan.filters[static_cast<size_t>(filter_id)].pruned;
+}
+
+std::unique_ptr<PhysicalOperator> CompileNode(
+    const Plan& plan, const PlanNode& node,
+    std::vector<BoundColumn> required, FilterRuntime* runtime,
+    const ExecutionOptions& options) {
+  const JoinGraph& graph = *plan.graph;
+
+  if (node.kind == PlanNode::Kind::kLeaf) {
+    const RelationRef& rel = graph.relation(node.relation);
+    BQO_CHECK_MSG(rel.table != nullptr, "execution requires bound tables");
+    std::vector<ResolvedFilter> filters;
+    for (int fid : node.applied_filters) {
+      if (!FilterActive(plan, fid, options)) continue;
+      const PlanFilter& f = plan.filters[static_cast<size_t>(fid)];
+      ResolvedFilter rf;
+      rf.filter_id = fid;
+      BQO_CHECK_LE(f.probe_cols.size(), size_t{8});
+      for (const BoundColumn& c : f.probe_cols) {
+        BQO_CHECK_EQ(c.rel, node.relation);
+        const int idx = rel.table->ColumnIndex(c.column);
+        BQO_CHECK_MSG(idx >= 0, "filter probe column missing from table");
+        rf.key_positions.push_back(idx);
+      }
+      filters.push_back(std::move(rf));
+    }
+    auto op = std::make_unique<ScanOperator>(
+        rel.table, rel.predicate, OutputSchema(std::move(required)),
+        std::move(filters), runtime, "scan " + rel.alias);
+    op->stats().plan_node_id = node.id;
+    return op;
+  }
+
+  // ---- Join node ----
+  const KeyColumns keys = JoinKeyColumns(plan, node);
+
+  // Residual filter probe columns must appear in this join's output.
+  std::vector<BoundColumn> self_required = std::move(required);
+  std::vector<int> active_residuals;
+  for (int fid : node.applied_filters) {
+    if (!FilterActive(plan, fid, options)) continue;
+    active_residuals.push_back(fid);
+    const PlanFilter& f = plan.filters[static_cast<size_t>(fid)];
+    for (const BoundColumn& c : f.probe_cols) self_required.push_back(c);
+  }
+  OutputSchema out_schema(self_required);
+
+  // Children must additionally produce the join key columns.
+  std::vector<BoundColumn> build_req, probe_req;
+  for (const BoundColumn& c : out_schema.cols()) {
+    if (RelSetContains(node.build->rel_set, c.rel)) {
+      build_req.push_back(c);
+    } else {
+      probe_req.push_back(c);
+    }
+  }
+  for (const BoundColumn& c : keys.build) build_req.push_back(c);
+  for (const BoundColumn& c : keys.probe) probe_req.push_back(c);
+
+  auto build_op =
+      CompileNode(plan, *node.build, std::move(build_req), runtime, options);
+  auto probe_op =
+      CompileNode(plan, *node.probe, std::move(probe_req), runtime, options);
+
+  HashJoinOperator::Config config;
+  config.filter_config = options.filter_config;
+  for (size_t i = 0; i < keys.build.size(); ++i) {
+    const int bpos = build_op->output_schema().PositionOf(keys.build[i]);
+    const int ppos = probe_op->output_schema().PositionOf(keys.probe[i]);
+    BQO_CHECK(bpos >= 0 && ppos >= 0);
+    config.build_key_positions.push_back(bpos);
+    config.probe_key_positions.push_back(ppos);
+  }
+  for (const BoundColumn& c : out_schema.cols()) {
+    const int bpos = build_op->output_schema().PositionOf(c);
+    if (bpos >= 0) {
+      config.output_sources.emplace_back(true, bpos);
+    } else {
+      const int ppos = probe_op->output_schema().PositionOf(c);
+      BQO_CHECK(ppos >= 0);
+      config.output_sources.emplace_back(false, ppos);
+    }
+  }
+  if (node.created_filter >= 0 &&
+      FilterActive(plan, node.created_filter, options)) {
+    config.creates_filter_id = node.created_filter;
+  }
+  for (int fid : active_residuals) {
+    const PlanFilter& f = plan.filters[static_cast<size_t>(fid)];
+    ResolvedFilter rf;
+    rf.filter_id = fid;
+    BQO_CHECK_LE(f.probe_cols.size(), size_t{8});
+    for (const BoundColumn& c : f.probe_cols) {
+      const int pos = out_schema.PositionOf(c);
+      BQO_CHECK(pos >= 0);
+      rf.key_positions.push_back(pos);
+    }
+    config.residual_filters.push_back(std::move(rf));
+  }
+
+  std::unique_ptr<PhysicalOperator> op;
+  if (options.use_sort_merge_join) {
+    op = std::make_unique<SortMergeJoinOperator>(
+        std::move(build_op), std::move(probe_op), std::move(out_schema),
+        std::move(config), runtime, StringFormat("MJ#%d", node.id));
+  } else {
+    op = std::make_unique<HashJoinOperator>(
+        std::move(build_op), std::move(probe_op), std::move(out_schema),
+        std::move(config), runtime, StringFormat("HJ#%d", node.id));
+  }
+  op->stats().plan_node_id = node.id;
+  return op;
+}
+
+void CollectStats(PhysicalOperator* op, QueryMetrics* metrics) {
+  int64_t child_ns = 0;
+  for (PhysicalOperator* child : op->children()) {
+    CollectStats(child, metrics);
+    child_ns += child->stats().ns_inclusive;
+  }
+  OperatorStats stats = op->stats();
+  stats.ns_self = stats.ns_inclusive - child_ns;
+  switch (stats.type) {
+    case OperatorType::kScan:
+      metrics->leaf_tuples += stats.rows_out;
+      break;
+    case OperatorType::kHashJoin:
+      metrics->join_tuples += stats.rows_out;
+      break;
+    case OperatorType::kAggregate:
+      metrics->other_tuples += stats.rows_out;
+      break;
+  }
+  metrics->operators.push_back(std::move(stats));
+}
+
+}  // namespace
+
+std::unique_ptr<AggregateOperator> CompilePlan(
+    const Plan& plan, const ExecutionOptions& options,
+    FilterRuntime* runtime) {
+  BQO_CHECK(plan.Validate());
+  BQO_CHECK(!plan.nodes.empty());
+  runtime->slots.resize(plan.filters.size());
+  runtime->stats.assign(plan.filters.size(), FilterStats{});
+  for (size_t i = 0; i < plan.filters.size(); ++i) {
+    runtime->stats[i].filter_id = static_cast<int>(i);
+  }
+
+  std::vector<BoundColumn> required;
+  if (options.agg.kind == AggKind::kSum) {
+    required.push_back(options.agg.sum_column);
+  }
+  if (options.agg.has_group_by) {
+    required.push_back(options.agg.group_column);
+  }
+  auto root =
+      CompileNode(plan, *plan.root, std::move(required), runtime, options);
+  return std::make_unique<AggregateOperator>(std::move(root), options.agg);
+}
+
+QueryMetrics ExecutePlan(const Plan& plan, const ExecutionOptions& options) {
+  FilterRuntime runtime;
+  auto agg = CompilePlan(plan, options, &runtime);
+
+  const auto start = std::chrono::steady_clock::now();
+  agg->Open();
+  Batch batch;
+  while (agg->Next(&batch)) {
+  }
+  agg->Close();
+  const auto end = std::chrono::steady_clock::now();
+
+  QueryMetrics metrics;
+  metrics.total_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count();
+  metrics.result_rows =
+      agg->NumGroups() > 0 ? agg->NumGroups() : agg->stats().rows_out;
+  metrics.result_checksum = agg->ResultChecksum();
+  CollectStats(agg.get(), &metrics);
+  metrics.filters = runtime.stats;
+  return metrics;
+}
+
+}  // namespace bqo

@@ -1,0 +1,41 @@
+// Plan execution: lowers an annotated Plan (join tree + Algorithm 1 filter
+// placement) into a physical operator tree and runs it.
+//
+// The same Plan object that was costed is executed; filter slots are shared
+// through a FilterRuntime so a filter created at one hash join is probed at
+// the operator Algorithm 1 pushed it to.
+#pragma once
+
+#include <memory>
+
+#include "src/exec/aggregate.h"
+#include "src/exec/metrics.h"
+#include "src/plan/plan.h"
+
+namespace bqo {
+
+struct ExecutionOptions {
+  /// Filter implementation used for created bitvector filters.
+  FilterConfig filter_config;
+  /// When false, no bitvector filters are created or probed (the paper's
+  /// Appendix A / Table 4 comparison: same plan, filters ignored).
+  bool use_bitvectors = true;
+  /// Compile joins as sort-merge instead of hash joins. Filter creation and
+  /// placement are unchanged (the paper's Section 2 remark that bitvector
+  /// filters adapt to merge joins); used by the join-algorithm ablation.
+  bool use_sort_merge_join = false;
+  /// Final aggregate; COUNT(*) by default.
+  AggSpec agg;
+};
+
+/// \brief Execute `plan` and return its metrics. The plan must Validate()
+/// and have been through PushDownBitvectors (or ClearBitvectors).
+QueryMetrics ExecutePlan(const Plan& plan,
+                         const ExecutionOptions& options = {});
+
+/// \brief Build the operator tree without running it (tests inspect it).
+std::unique_ptr<AggregateOperator> CompilePlan(const Plan& plan,
+                                               const ExecutionOptions& options,
+                                               FilterRuntime* runtime);
+
+}  // namespace bqo

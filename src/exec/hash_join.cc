@@ -1,0 +1,200 @@
+#include "src/exec/hash_join.h"
+
+#include "src/common/hash.h"
+
+namespace bqo {
+
+namespace {
+uint64_t NextPow2(uint64_t x) {
+  uint64_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+}  // namespace
+
+HashJoinOperator::HashJoinOperator(std::unique_ptr<PhysicalOperator> build,
+                                   std::unique_ptr<PhysicalOperator> probe,
+                                   OutputSchema schema, Config config,
+                                   FilterRuntime* runtime, std::string label)
+    : build_(std::move(build)),
+      probe_(std::move(probe)),
+      config_(std::move(config)),
+      runtime_(runtime) {
+  schema_ = std::move(schema);
+  stats_.type = OperatorType::kHashJoin;
+  stats_.label = std::move(label);
+  BQO_CHECK(!config_.build_key_positions.empty());
+  BQO_CHECK_EQ(config_.build_key_positions.size(),
+               config_.probe_key_positions.size());
+  BQO_CHECK_LE(config_.build_key_positions.size(), size_t{8});
+  build_width_ = build_->output_schema().size();
+}
+
+void HashJoinOperator::Open() {
+  TimerGuard timer(&stats_);
+
+  // ---- Build phase ----
+  build_->Open();
+  Batch batch;
+  const size_t nkeys = config_.build_key_positions.size();
+  while (build_->Next(&batch)) {
+    for (int r = 0; r < batch.num_rows; ++r) {
+      int64_t key[8];
+      for (size_t k = 0; k < nkeys; ++k) {
+        key[k] = batch.columns[static_cast<size_t>(
+            config_.build_key_positions[k])][static_cast<size_t>(r)];
+      }
+      const uint64_t hash = HashComposite(key, nkeys);
+      const int32_t row_start = static_cast<int32_t>(build_rows_.size());
+      for (int c = 0; c < build_width_; ++c) {
+        build_rows_.push_back(
+            batch.columns[static_cast<size_t>(c)][static_cast<size_t>(r)]);
+      }
+      entries_.push_back(Entry{hash, -1, row_start});
+    }
+  }
+  build_->Close();
+
+  // Create this join's bitvector filter, sized exactly to the build side
+  // (the entries already carry the composite-key hashes).
+  if (config_.creates_filter_id >= 0) {
+    auto& slot =
+        runtime_->slots[static_cast<size_t>(config_.creates_filter_id)];
+    slot = CreateFilter(config_.filter_config,
+                        static_cast<int64_t>(entries_.size()));
+    for (const Entry& e : entries_) slot->Insert(e.hash);
+    FilterStats& fs =
+        runtime_->stats[static_cast<size_t>(config_.creates_filter_id)];
+    fs.created = true;
+    fs.inserted = slot->NumInserted();
+    fs.size_bytes = slot->SizeBytes();
+  }
+
+  // Bucketize.
+  const uint64_t num_buckets =
+      NextPow2(entries_.size() < 8 ? 16 : entries_.size() * 2);
+  buckets_.assign(num_buckets, -1);
+  bucket_mask_ = num_buckets - 1;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const uint64_t b = entries_[i].hash & bucket_mask_;
+    entries_[i].next = buckets_[b];
+    buckets_[b] = static_cast<int32_t>(i);
+  }
+
+  // ---- Probe side opens only after the filter exists ----
+  probe_->Open();
+  probe_cursor_ = 0;
+  pending_entry_ = -1;
+  probe_exhausted_ = false;
+}
+
+uint64_t HashJoinOperator::ProbeHash(const Batch& batch, int row) const {
+  int64_t key[8];
+  const size_t nkeys = config_.probe_key_positions.size();
+  for (size_t k = 0; k < nkeys; ++k) {
+    key[k] = batch.columns[static_cast<size_t>(
+        config_.probe_key_positions[k])][static_cast<size_t>(row)];
+  }
+  return HashComposite(key, nkeys);
+}
+
+bool HashJoinOperator::KeysEqual(const Entry& entry, const Batch& batch,
+                                 int row) const {
+  const size_t nkeys = config_.build_key_positions.size();
+  for (size_t k = 0; k < nkeys; ++k) {
+    const int64_t build_val =
+        build_rows_[static_cast<size_t>(entry.row_start) +
+                    static_cast<size_t>(config_.build_key_positions[k])];
+    const int64_t probe_val = batch.columns[static_cast<size_t>(
+        config_.probe_key_positions[k])][static_cast<size_t>(row)];
+    if (build_val != probe_val) return false;
+  }
+  return true;
+}
+
+bool HashJoinOperator::EmitRow(const Batch& probe_batch, int probe_row,
+                               int32_t build_row, Batch* out) {
+  ++stats_.rows_prefilter;
+
+  // Residual filters (Algorithm 1 lines 24-29) evaluate on the joined row.
+  for (const ResolvedFilter& rf : config_.residual_filters) {
+    BitvectorFilter* filter =
+        runtime_->slots[static_cast<size_t>(rf.filter_id)].get();
+    if (filter == nullptr) continue;
+    int64_t key[8];
+    const size_t nkeys = rf.key_positions.size();
+    for (size_t k = 0; k < nkeys; ++k) {
+      const auto& src =
+          config_.output_sources[static_cast<size_t>(rf.key_positions[k])];
+      key[k] = src.first
+                   ? build_rows_[static_cast<size_t>(build_row) +
+                                 static_cast<size_t>(src.second)]
+                   : probe_batch.columns[static_cast<size_t>(src.second)]
+                                        [static_cast<size_t>(probe_row)];
+    }
+    FilterStats& fs = runtime_->stats[static_cast<size_t>(rf.filter_id)];
+    ++fs.probed;
+    if (!filter->MayContain(HashComposite(key, nkeys))) return false;
+    ++fs.passed;
+  }
+
+  for (size_t c = 0; c < config_.output_sources.size(); ++c) {
+    const auto& src = config_.output_sources[c];
+    const int64_t v =
+        src.first ? build_rows_[static_cast<size_t>(build_row) +
+                                static_cast<size_t>(src.second)]
+                  : probe_batch.columns[static_cast<size_t>(src.second)]
+                                       [static_cast<size_t>(probe_row)];
+    out->columns[c].push_back(v);
+  }
+  ++out->num_rows;
+  return true;
+}
+
+bool HashJoinOperator::Next(Batch* out) {
+  TimerGuard timer(&stats_);
+  out->Reset(schema_.size());
+
+  while (!out->Full()) {
+    // Resume an in-progress duplicate chain.
+    if (pending_entry_ >= 0) {
+      const int probe_row = probe_cursor_ - 1;
+      while (pending_entry_ >= 0 && !out->Full()) {
+        const Entry& e = entries_[static_cast<size_t>(pending_entry_)];
+        const int32_t entry_idx = pending_entry_;
+        pending_entry_ = e.next;
+        if (KeysEqual(e, probe_batch_, probe_row)) {
+          EmitRow(probe_batch_, probe_row,
+                  entries_[static_cast<size_t>(entry_idx)].row_start, out);
+        }
+      }
+      if (pending_entry_ >= 0) break;  // batch full mid-chain
+      continue;
+    }
+
+    if (probe_cursor_ >= probe_batch_.num_rows) {
+      if (probe_exhausted_ || !probe_->Next(&probe_batch_)) {
+        probe_exhausted_ = true;
+        break;
+      }
+      probe_cursor_ = 0;
+      continue;
+    }
+
+    const int probe_row = probe_cursor_++;
+    const uint64_t hash = ProbeHash(probe_batch_, probe_row);
+    pending_entry_ = buckets_[hash & bucket_mask_];
+  }
+
+  stats_.rows_out += out->num_rows;
+  return out->num_rows > 0;
+}
+
+void HashJoinOperator::Close() {
+  probe_->Close();
+  buckets_.clear();
+  entries_.clear();
+  build_rows_.clear();
+}
+
+}  // namespace bqo

@@ -1,0 +1,78 @@
+// Hash join with bitvector-filter creation (Algorithm 1, lines 8-10).
+//
+// Open() drains the build child into a bucket-chained hash table, creates
+// this join's bitvector filter (unless pruned/disabled), and only then opens
+// the probe child — establishing the top-down build order that makes every
+// pushed-down filter's contents available before the subtree it filters
+// starts producing tuples.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/exec/operator.h"
+
+namespace bqo {
+
+class HashJoinOperator final : public PhysicalOperator {
+ public:
+  struct Config {
+    /// Positions of the equi-join key columns in the children's schemas
+    /// (aligned: build_key_positions[i] joins probe_key_positions[i]).
+    std::vector<int> build_key_positions;
+    std::vector<int> probe_key_positions;
+    /// Output column -> (from_build, position in that child's schema).
+    std::vector<std::pair<bool, int>> output_sources;
+    /// Runtime slot this join fills with its build keys, or -1.
+    int creates_filter_id = -1;
+    /// Residual filters applied to this join's output; key_positions index
+    /// the join's output schema.
+    std::vector<ResolvedFilter> residual_filters;
+    FilterConfig filter_config;
+  };
+
+  HashJoinOperator(std::unique_ptr<PhysicalOperator> build,
+                   std::unique_ptr<PhysicalOperator> probe,
+                   OutputSchema schema, Config config, FilterRuntime* runtime,
+                   std::string label);
+
+  void Open() override;
+  bool Next(Batch* out) override;
+  void Close() override;
+
+  std::vector<PhysicalOperator*> children() override {
+    return {build_.get(), probe_.get()};
+  }
+
+ private:
+  struct Entry {
+    uint64_t hash;
+    int32_t next;       ///< chain for collisions/duplicates, -1 = end
+    int32_t row_start;  ///< offset into build_rows_ (row-major)
+  };
+
+  uint64_t ProbeHash(const Batch& batch, int row) const;
+  bool KeysEqual(const Entry& entry, const Batch& batch, int row) const;
+  bool EmitRow(const Batch& probe_batch, int probe_row, int32_t build_row,
+               Batch* out);
+
+  std::unique_ptr<PhysicalOperator> build_;
+  std::unique_ptr<PhysicalOperator> probe_;
+  Config config_;
+  FilterRuntime* runtime_;
+
+  // Hash table state.
+  std::vector<int32_t> buckets_;  ///< -1 = empty
+  std::vector<Entry> entries_;
+  std::vector<int64_t> build_rows_;  ///< row-major build tuples
+  int build_width_ = 0;
+  uint64_t bucket_mask_ = 0;
+
+  // Probe iteration state (a probe row can match many build rows).
+  Batch probe_batch_;
+  int probe_cursor_ = 0;
+  int32_t pending_entry_ = -1;
+  bool probe_exhausted_ = false;
+};
+
+}  // namespace bqo

@@ -1,0 +1,227 @@
+#include "src/exec/merge_join.h"
+
+#include <algorithm>
+
+#include "src/common/hash.h"
+
+namespace bqo {
+
+SortMergeJoinOperator::SortMergeJoinOperator(
+    std::unique_ptr<PhysicalOperator> build,
+    std::unique_ptr<PhysicalOperator> probe, OutputSchema schema,
+    HashJoinOperator::Config config, FilterRuntime* runtime,
+    std::string label)
+    : build_(std::move(build)),
+      probe_(std::move(probe)),
+      config_(std::move(config)),
+      runtime_(runtime) {
+  schema_ = std::move(schema);
+  stats_.type = OperatorType::kHashJoin;  // joins group together in Fig. 9
+  stats_.label = std::move(label);
+  BQO_CHECK(!config_.build_key_positions.empty());
+  BQO_CHECK_EQ(config_.build_key_positions.size(),
+               config_.probe_key_positions.size());
+}
+
+void SortMergeJoinOperator::Materialize(PhysicalOperator* child,
+                                        Side* side) {
+  side->width = child->output_schema().size();
+  Batch batch;
+  while (child->Next(&batch)) {
+    for (int r = 0; r < batch.num_rows; ++r) {
+      for (int c = 0; c < side->width; ++c) {
+        side->rows.push_back(
+            batch.columns[static_cast<size_t>(c)][static_cast<size_t>(r)]);
+      }
+    }
+  }
+}
+
+int SortMergeJoinOperator::CompareKeys(int64_t build_row,
+                                       int64_t probe_row) const {
+  for (size_t k = 0; k < config_.build_key_positions.size(); ++k) {
+    const int64_t b =
+        build_side_.rows[static_cast<size_t>(build_row) *
+                             static_cast<size_t>(build_side_.width) +
+                         static_cast<size_t>(config_.build_key_positions[k])];
+    const int64_t p =
+        probe_side_.rows[static_cast<size_t>(probe_row) *
+                             static_cast<size_t>(probe_side_.width) +
+                         static_cast<size_t>(config_.probe_key_positions[k])];
+    if (b < p) return -1;
+    if (b > p) return 1;
+  }
+  return 0;
+}
+
+void SortMergeJoinOperator::Open() {
+  TimerGuard timer(&stats_);
+
+  // Build input first; its filter must exist before the probe side opens.
+  build_->Open();
+  Materialize(build_.get(), &build_side_);
+  build_->Close();
+
+  if (config_.creates_filter_id >= 0) {
+    auto& slot =
+        runtime_->slots[static_cast<size_t>(config_.creates_filter_id)];
+    slot = CreateFilter(config_.filter_config, build_side_.num_rows());
+    const size_t nkeys = config_.build_key_positions.size();
+    for (int64_t r = 0; r < build_side_.num_rows(); ++r) {
+      int64_t key[8];
+      for (size_t k = 0; k < nkeys; ++k) {
+        key[k] = build_side_.rows[static_cast<size_t>(r) *
+                                      static_cast<size_t>(build_side_.width) +
+                                  static_cast<size_t>(
+                                      config_.build_key_positions[k])];
+      }
+      slot->Insert(HashComposite(key, nkeys));
+    }
+    FilterStats& fs =
+        runtime_->stats[static_cast<size_t>(config_.creates_filter_id)];
+    fs.created = true;
+    fs.inserted = slot->NumInserted();
+    fs.size_bytes = slot->SizeBytes();
+  }
+
+  probe_->Open();
+  Materialize(probe_.get(), &probe_side_);
+  probe_->Close();
+
+  // Sort both sides by key (indices; rows stay put).
+  auto sort_side = [](Side* side, const std::vector<int>& key_positions) {
+    side->order.resize(static_cast<size_t>(side->num_rows()));
+    for (size_t i = 0; i < side->order.size(); ++i) {
+      side->order[i] = static_cast<int32_t>(i);
+    }
+    std::sort(side->order.begin(), side->order.end(),
+              [side, &key_positions](int32_t a, int32_t b) {
+                for (int pos : key_positions) {
+                  const int64_t va =
+                      side->rows[static_cast<size_t>(a) *
+                                     static_cast<size_t>(side->width) +
+                                 static_cast<size_t>(pos)];
+                  const int64_t vb =
+                      side->rows[static_cast<size_t>(b) *
+                                     static_cast<size_t>(side->width) +
+                                 static_cast<size_t>(pos)];
+                  if (va != vb) return va < vb;
+                }
+                return a < b;
+              });
+  };
+  sort_side(&build_side_, config_.build_key_positions);
+  sort_side(&probe_side_, config_.probe_key_positions);
+
+  b_cursor_ = 0;
+  p_cursor_ = 0;
+  in_group_ = false;
+  done_ = build_side_.num_rows() == 0 || probe_side_.num_rows() == 0;
+}
+
+bool SortMergeJoinOperator::EmitRow(int64_t build_row, int64_t probe_row,
+                                    Batch* out) {
+  ++stats_.rows_prefilter;
+  for (const ResolvedFilter& rf : config_.residual_filters) {
+    BitvectorFilter* filter =
+        runtime_->slots[static_cast<size_t>(rf.filter_id)].get();
+    if (filter == nullptr) continue;
+    int64_t key[8];
+    const size_t nkeys = rf.key_positions.size();
+    for (size_t k = 0; k < nkeys; ++k) {
+      const auto& src =
+          config_.output_sources[static_cast<size_t>(rf.key_positions[k])];
+      const Side& side = src.first ? build_side_ : probe_side_;
+      const int64_t row = src.first ? build_row : probe_row;
+      key[k] = side.rows[static_cast<size_t>(row) *
+                             static_cast<size_t>(side.width) +
+                         static_cast<size_t>(src.second)];
+    }
+    FilterStats& fs = runtime_->stats[static_cast<size_t>(rf.filter_id)];
+    ++fs.probed;
+    if (!filter->MayContain(HashComposite(key, nkeys))) return false;
+    ++fs.passed;
+  }
+  for (const auto& src : config_.output_sources) {
+    const Side& side = src.first ? build_side_ : probe_side_;
+    const int64_t row = src.first ? build_row : probe_row;
+    out->columns[&src - config_.output_sources.data()].push_back(
+        side.rows[static_cast<size_t>(row) * static_cast<size_t>(side.width) +
+                  static_cast<size_t>(src.second)]);
+  }
+  ++out->num_rows;
+  return true;
+}
+
+bool SortMergeJoinOperator::Next(Batch* out) {
+  TimerGuard timer(&stats_);
+  out->Reset(schema_.size());
+  const int64_t nb = build_side_.num_rows();
+  const int64_t np = probe_side_.num_rows();
+
+  while (!out->Full() && !done_) {
+    if (in_group_) {
+      // Cross product of the current equal-key group.
+      while (emit_b_ < group_b_hi_ && !out->Full()) {
+        while (emit_p_ < group_p_hi_ && !out->Full()) {
+          EmitRow(build_side_.order[static_cast<size_t>(emit_b_)],
+                  probe_side_.order[static_cast<size_t>(emit_p_)], out);
+          ++emit_p_;
+        }
+        if (emit_p_ >= group_p_hi_) {
+          emit_p_ = group_p_lo_;
+          ++emit_b_;
+        }
+      }
+      if (emit_b_ >= group_b_hi_) {
+        in_group_ = false;
+        b_cursor_ = group_b_hi_;
+        p_cursor_ = group_p_hi_;
+      }
+      continue;
+    }
+    if (b_cursor_ >= nb || p_cursor_ >= np) {
+      done_ = true;
+      break;
+    }
+    const int cmp =
+        CompareKeys(build_side_.order[static_cast<size_t>(b_cursor_)],
+                    probe_side_.order[static_cast<size_t>(p_cursor_)]);
+    if (cmp < 0) {
+      ++b_cursor_;
+    } else if (cmp > 0) {
+      ++p_cursor_;
+    } else {
+      // Delimit the equal-key group on both sides.
+      group_b_lo_ = b_cursor_;
+      group_b_hi_ = b_cursor_ + 1;
+      while (group_b_hi_ < nb &&
+             CompareKeys(build_side_.order[static_cast<size_t>(group_b_hi_)],
+                         probe_side_.order[static_cast<size_t>(p_cursor_)]) ==
+                 0) {
+        ++group_b_hi_;
+      }
+      group_p_lo_ = p_cursor_;
+      group_p_hi_ = p_cursor_ + 1;
+      while (group_p_hi_ < np &&
+             CompareKeys(build_side_.order[static_cast<size_t>(b_cursor_)],
+                         probe_side_.order[static_cast<size_t>(group_p_hi_)]) ==
+                 0) {
+        ++group_p_hi_;
+      }
+      emit_b_ = group_b_lo_;
+      emit_p_ = group_p_lo_;
+      in_group_ = true;
+    }
+  }
+
+  stats_.rows_out += out->num_rows;
+  return out->num_rows > 0;
+}
+
+void SortMergeJoinOperator::Close() {
+  build_side_ = Side{};
+  probe_side_ = Side{};
+}
+
+}  // namespace bqo

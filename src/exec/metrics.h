@@ -1,0 +1,62 @@
+// Per-operator and per-query execution metrics.
+//
+// These counters regenerate the paper's measurements: CPU execution time
+// (Figures 7, 8, 10; Table 4), tuples output by operator type (Figure 9),
+// and bitvector filter effectiveness (the lambda of Section 6.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bqo {
+
+enum class OperatorType : uint8_t { kScan, kHashJoin, kAggregate };
+
+struct OperatorStats {
+  OperatorType type = OperatorType::kScan;
+  std::string label;
+  int plan_node_id = -1;
+  int64_t rows_out = 0;         ///< after residual bitvector filters
+  int64_t rows_prefilter = 0;   ///< before bitvector filters at this op
+  int64_t ns_inclusive = 0;     ///< wall ns inside Open+Next (children incl.)
+  int64_t ns_self = 0;          ///< ns_inclusive minus children
+};
+
+struct FilterStats {
+  int filter_id = -1;
+  bool created = false;   ///< false if pruned/disabled
+  int64_t inserted = 0;
+  int64_t probed = 0;
+  int64_t passed = 0;
+  int64_t size_bytes = 0;
+
+  double ObservedLambda() const {
+    return probed == 0
+               ? 0.0
+               : static_cast<double>(probed - passed) /
+                     static_cast<double>(probed);
+  }
+};
+
+struct QueryMetrics {
+  int64_t total_ns = 0;
+  int64_t result_rows = 0;
+  /// Order-independent checksum of the result (verifies plan equivalence).
+  uint64_t result_checksum = 0;
+
+  // Figure 9 categories.
+  int64_t leaf_tuples = 0;
+  int64_t join_tuples = 0;
+  int64_t other_tuples = 0;
+
+  std::vector<OperatorStats> operators;
+  std::vector<FilterStats> filters;
+
+  /// \brief Sum of post-filter operator outputs (the executed-plan Cout).
+  int64_t TotalIntermediateTuples() const {
+    return leaf_tuples + join_tuples;
+  }
+};
+
+}  // namespace bqo

@@ -1,0 +1,74 @@
+// Physical operator interface (Volcano-style pull with vectorized batches)
+// and the shared runtime state for bitvector filters.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "src/exec/batch.h"
+#include "src/exec/metrics.h"
+#include "src/filter/bitvector_filter.h"
+
+namespace bqo {
+
+/// \brief Shared runtime slots for bitvector filters, indexed by
+/// PlanFilter::id. A slot stays null when the filter is pruned (Section 6.3)
+/// or when execution is configured to ignore bitvectors (Table 4's
+// "same plan, filters off" comparison); consumers skip null slots.
+struct FilterRuntime {
+  std::vector<std::unique_ptr<BitvectorFilter>> slots;
+  std::vector<FilterStats> stats;
+};
+
+/// \brief A filter application site resolved against an operator: which
+/// runtime slot to probe and where its key columns live.
+struct ResolvedFilter {
+  int filter_id = -1;
+  /// Positions of the probe-key columns. For scans these are base-table
+  /// column indices; for joins, positions in the operator's output schema.
+  std::vector<int> key_positions;
+};
+
+class PhysicalOperator {
+ public:
+  virtual ~PhysicalOperator() = default;
+
+  /// \brief Prepare for iteration. Hash joins drain their build child here,
+  /// so Open order realizes the filter-dependency order of Algorithm 1.
+  virtual void Open() = 0;
+
+  /// \brief Produce the next batch; false when exhausted.
+  virtual bool Next(Batch* out) = 0;
+
+  virtual void Close() = 0;
+
+  const OutputSchema& output_schema() const { return schema_; }
+  OperatorStats& stats() { return stats_; }
+  const OperatorStats& stats() const { return stats_; }
+
+  virtual std::vector<PhysicalOperator*> children() { return {}; }
+
+ protected:
+  /// \brief RAII guard accumulating wall time into the operator's counter.
+  class TimerGuard {
+   public:
+    explicit TimerGuard(OperatorStats* stats)
+        : stats_(stats), start_(std::chrono::steady_clock::now()) {}
+    ~TimerGuard() {
+      stats_->ns_inclusive +=
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start_)
+              .count();
+    }
+
+   private:
+    OperatorStats* stats_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  OutputSchema schema_;
+  OperatorStats stats_;
+};
+
+}  // namespace bqo

@@ -1,0 +1,53 @@
+// Table scan: local predicate evaluation plus pushed-down bitvector probes.
+//
+// The predicate is evaluated once at Open() into a selection vector (this is
+// the columnar "leaf" work the paper's Figure 9 counts); Next() gathers the
+// required output columns and tests each candidate row against the bitvector
+// filters pushed down to this leaf by Algorithm 1.
+#pragma once
+
+#include <vector>
+
+#include "src/exec/operator.h"
+#include "src/storage/table.h"
+
+namespace bqo {
+
+class ScanOperator final : public PhysicalOperator {
+ public:
+  /// \param filters   filters applied at this leaf; key_positions are
+  ///                  base-table column indices of the probe columns.
+  ScanOperator(const Table* table, ExprPtr predicate, OutputSchema schema,
+               std::vector<ResolvedFilter> filters, FilterRuntime* runtime,
+               std::string label);
+
+  void Open() override;
+  bool Next(Batch* out) override;
+  void Close() override;
+
+ private:
+  /// A filter fully resolved for the per-row loop: loop-invariant pointers
+  /// hoisted so the check costs only the hash + the probe (the Cf that
+  /// Figure 7 profiles).
+  struct ActiveFilter {
+    const BitvectorFilter* filter = nullptr;
+    FilterStats* stats = nullptr;
+    const int64_t* key_data[8] = {nullptr};
+    size_t num_keys = 0;
+  };
+
+  const Table* table_;
+  ExprPtr predicate_;
+  std::vector<ResolvedFilter> filters_;
+  FilterRuntime* runtime_;
+  /// Output column -> base table column (resolved once; hot path).
+  std::vector<const Column*> gather_cols_;
+  /// Resolved at Open() (filter slots are filled by then; hash joins above
+  /// this scan complete their builds before opening their probe side).
+  std::vector<ActiveFilter> active_filters_;
+
+  std::vector<uint32_t> selection_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace bqo

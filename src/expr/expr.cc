@@ -1,0 +1,327 @@
+#include "src/expr/expr.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/common/string_util.h"
+
+namespace bqo {
+
+namespace {
+
+std::shared_ptr<Expr> MakeExpr(ExprKind kind) {
+  auto e = std::make_shared<Expr>();
+  e->kind = kind;
+  return e;
+}
+
+const char* OpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kTrue:
+      return "TRUE";
+    case ExprKind::kCompare:
+      return column + " " + OpName(op) + " " + literal.ToString();
+    case ExprKind::kBetween:
+      return StringFormat("%s BETWEEN %lld AND %lld", column.c_str(),
+                          static_cast<long long>(lo),
+                          static_cast<long long>(hi));
+    case ExprKind::kInList: {
+      std::vector<std::string> parts;
+      for (int64_t v : in_values) parts.push_back(std::to_string(v));
+      return column + " IN (" + JoinStrings(parts, ", ") + ")";
+    }
+    case ExprKind::kStringContains:
+      return column + " LIKE '%" + needle + "%'";
+    case ExprKind::kModLess:
+      return StringFormat("%s %% %lld < %lld", column.c_str(),
+                          static_cast<long long>(mod_divisor),
+                          static_cast<long long>(mod_bound));
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      std::vector<std::string> parts;
+      for (const auto& c : children) parts.push_back("(" + c->ToString() + ")");
+      return JoinStrings(parts, kind == ExprKind::kAnd ? " AND " : " OR ");
+    }
+    case ExprKind::kNot:
+      return "NOT (" + children[0]->ToString() + ")";
+  }
+  return "?";
+}
+
+ExprPtr TruePred() { return MakeExpr(ExprKind::kTrue); }
+
+ExprPtr Compare(std::string column, CompareOp op, Value literal) {
+  auto e = MakeExpr(ExprKind::kCompare);
+  e->column = std::move(column);
+  e->op = op;
+  e->literal = std::move(literal);
+  return e;
+}
+
+ExprPtr Eq(std::string column, int64_t v) {
+  return Compare(std::move(column), CompareOp::kEq, Value(v));
+}
+ExprPtr EqString(std::string column, std::string v) {
+  return Compare(std::move(column), CompareOp::kEq, Value(std::move(v)));
+}
+ExprPtr Lt(std::string column, int64_t v) {
+  return Compare(std::move(column), CompareOp::kLt, Value(v));
+}
+ExprPtr Le(std::string column, int64_t v) {
+  return Compare(std::move(column), CompareOp::kLe, Value(v));
+}
+ExprPtr Gt(std::string column, int64_t v) {
+  return Compare(std::move(column), CompareOp::kGt, Value(v));
+}
+ExprPtr Ge(std::string column, int64_t v) {
+  return Compare(std::move(column), CompareOp::kGe, Value(v));
+}
+
+ExprPtr Between(std::string column, int64_t lo, int64_t hi) {
+  auto e = MakeExpr(ExprKind::kBetween);
+  e->column = std::move(column);
+  e->lo = lo;
+  e->hi = hi;
+  return e;
+}
+
+ExprPtr In(std::string column, std::vector<int64_t> values) {
+  auto e = MakeExpr(ExprKind::kInList);
+  e->column = std::move(column);
+  e->in_values = std::move(values);
+  return e;
+}
+
+ExprPtr LikeContains(std::string column, std::string needle) {
+  auto e = MakeExpr(ExprKind::kStringContains);
+  e->column = std::move(column);
+  e->needle = std::move(needle);
+  return e;
+}
+
+ExprPtr ModLess(std::string column, int64_t divisor, int64_t bound) {
+  BQO_CHECK(divisor > 0);
+  auto e = MakeExpr(ExprKind::kModLess);
+  e->column = std::move(column);
+  e->mod_divisor = divisor;
+  e->mod_bound = bound;
+  return e;
+}
+
+ExprPtr And(std::vector<ExprPtr> children) {
+  auto e = MakeExpr(ExprKind::kAnd);
+  e->children = std::move(children);
+  return e;
+}
+
+ExprPtr Or(std::vector<ExprPtr> children) {
+  auto e = MakeExpr(ExprKind::kOr);
+  e->children = std::move(children);
+  return e;
+}
+
+ExprPtr Not(ExprPtr child) {
+  auto e = MakeExpr(ExprKind::kNot);
+  e->children.push_back(std::move(child));
+  return e;
+}
+
+namespace {
+
+const Column& RequireColumn(const Table& table, const std::string& name) {
+  const int idx = table.ColumnIndex(name);
+  BQO_CHECK_MSG(idx >= 0, ("predicate column missing: " + name).c_str());
+  return table.column(idx);
+}
+
+void EvalInto(const Table& table, const Expr& expr,
+              std::vector<uint8_t>* out) {
+  const int64_t n = table.num_rows();
+  out->assign(static_cast<size_t>(n), 0);
+  switch (expr.kind) {
+    case ExprKind::kTrue: {
+      std::fill(out->begin(), out->end(), 1);
+      return;
+    }
+    case ExprKind::kCompare: {
+      const Column& col = RequireColumn(table, expr.column);
+      if (col.type() == DataType::kString) {
+        BQO_CHECK_MSG(expr.literal.type() == DataType::kString,
+                      "string column compared to non-string literal");
+        // Equality on strings resolves to one dictionary code; other
+        // comparisons are not meaningful on dictionary order.
+        BQO_CHECK_MSG(expr.op == CompareOp::kEq || expr.op == CompareOp::kNe,
+                      "only =/<> supported on string columns");
+        const int32_t code = col.dict().Lookup(expr.literal.AsString());
+        const int64_t* data = col.int_data();
+        const bool want_eq = expr.op == CompareOp::kEq;
+        for (int64_t i = 0; i < n; ++i) {
+          const bool eq = data[i] == code;
+          (*out)[static_cast<size_t>(i)] = (eq == want_eq) ? 1 : 0;
+        }
+        return;
+      }
+      if (col.type() == DataType::kDouble) {
+        const double v = expr.literal.type() == DataType::kDouble
+                             ? expr.literal.AsDouble()
+                             : static_cast<double>(expr.literal.AsInt64());
+        const double* data = col.double_data();
+        for (int64_t i = 0; i < n; ++i) {
+          const double x = data[i];
+          bool r = false;
+          switch (expr.op) {
+            case CompareOp::kEq: r = x == v; break;
+            case CompareOp::kNe: r = x != v; break;
+            case CompareOp::kLt: r = x < v; break;
+            case CompareOp::kLe: r = x <= v; break;
+            case CompareOp::kGt: r = x > v; break;
+            case CompareOp::kGe: r = x >= v; break;
+          }
+          (*out)[static_cast<size_t>(i)] = r ? 1 : 0;
+        }
+        return;
+      }
+      const int64_t v = expr.literal.AsInt64();
+      const int64_t* data = col.int_data();
+      for (int64_t i = 0; i < n; ++i) {
+        const int64_t x = data[i];
+        bool r = false;
+        switch (expr.op) {
+          case CompareOp::kEq: r = x == v; break;
+          case CompareOp::kNe: r = x != v; break;
+          case CompareOp::kLt: r = x < v; break;
+          case CompareOp::kLe: r = x <= v; break;
+          case CompareOp::kGt: r = x > v; break;
+          case CompareOp::kGe: r = x >= v; break;
+        }
+        (*out)[static_cast<size_t>(i)] = r ? 1 : 0;
+      }
+      return;
+    }
+    case ExprKind::kBetween: {
+      const Column& col = RequireColumn(table, expr.column);
+      BQO_CHECK(col.type() == DataType::kInt64);
+      const int64_t* data = col.int_data();
+      for (int64_t i = 0; i < n; ++i) {
+        (*out)[static_cast<size_t>(i)] =
+            (data[i] >= expr.lo && data[i] <= expr.hi) ? 1 : 0;
+      }
+      return;
+    }
+    case ExprKind::kInList: {
+      const Column& col = RequireColumn(table, expr.column);
+      BQO_CHECK(col.type() == DataType::kInt64);
+      std::unordered_set<int64_t> set(expr.in_values.begin(),
+                                      expr.in_values.end());
+      const int64_t* data = col.int_data();
+      for (int64_t i = 0; i < n; ++i) {
+        (*out)[static_cast<size_t>(i)] = set.count(data[i]) ? 1 : 0;
+      }
+      return;
+    }
+    case ExprKind::kStringContains: {
+      const Column& col = RequireColumn(table, expr.column);
+      BQO_CHECK(col.type() == DataType::kString);
+      // Scan the dictionary once, then test codes: O(dict + rows).
+      std::vector<uint8_t> code_match(
+          static_cast<size_t>(col.dict().size()), 0);
+      for (int32_t code : col.dict().CodesContaining(expr.needle)) {
+        code_match[static_cast<size_t>(code)] = 1;
+      }
+      const int64_t* data = col.int_data();
+      for (int64_t i = 0; i < n; ++i) {
+        (*out)[static_cast<size_t>(i)] =
+            code_match[static_cast<size_t>(data[i])];
+      }
+      return;
+    }
+    case ExprKind::kModLess: {
+      const Column& col = RequireColumn(table, expr.column);
+      BQO_CHECK(col.type() == DataType::kInt64);
+      const int64_t* data = col.int_data();
+      for (int64_t i = 0; i < n; ++i) {
+        (*out)[static_cast<size_t>(i)] =
+            (data[i] % expr.mod_divisor) < expr.mod_bound ? 1 : 0;
+      }
+      return;
+    }
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      BQO_CHECK(!expr.children.empty());
+      EvalInto(table, *expr.children[0], out);
+      std::vector<uint8_t> tmp;
+      for (size_t c = 1; c < expr.children.size(); ++c) {
+        EvalInto(table, *expr.children[c], &tmp);
+        if (expr.kind == ExprKind::kAnd) {
+          for (int64_t i = 0; i < n; ++i) {
+            (*out)[static_cast<size_t>(i)] &= tmp[static_cast<size_t>(i)];
+          }
+        } else {
+          for (int64_t i = 0; i < n; ++i) {
+            (*out)[static_cast<size_t>(i)] |= tmp[static_cast<size_t>(i)];
+          }
+        }
+      }
+      return;
+    }
+    case ExprKind::kNot: {
+      BQO_CHECK_EQ(expr.children.size(), size_t{1});
+      EvalInto(table, *expr.children[0], out);
+      for (int64_t i = 0; i < n; ++i) {
+        (*out)[static_cast<size_t>(i)] ^= 1;
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> EvaluateBitmap(const Table& table, const ExprPtr& expr) {
+  std::vector<uint8_t> bitmap;
+  if (expr == nullptr) {
+    bitmap.assign(static_cast<size_t>(table.num_rows()), 1);
+    return bitmap;
+  }
+  EvalInto(table, *expr, &bitmap);
+  return bitmap;
+}
+
+std::vector<uint32_t> EvaluatePredicate(const Table& table,
+                                        const ExprPtr& expr) {
+  std::vector<uint32_t> rows;
+  if (expr == nullptr || expr->kind == ExprKind::kTrue) {
+    rows.resize(static_cast<size_t>(table.num_rows()));
+    for (size_t i = 0; i < rows.size(); ++i) {
+      rows[i] = static_cast<uint32_t>(i);
+    }
+    return rows;
+  }
+  const std::vector<uint8_t> bitmap = EvaluateBitmap(table, expr);
+  for (size_t i = 0; i < bitmap.size(); ++i) {
+    if (bitmap[i]) rows.push_back(static_cast<uint32_t>(i));
+  }
+  return rows;
+}
+
+}  // namespace bqo

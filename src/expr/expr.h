@@ -1,0 +1,84 @@
+// Predicate expressions over a single base table.
+//
+// Queries in this library are decision-support join queries: each relation
+// carries an optional filter predicate (this module), and relations are
+// connected by equi-join edges (src/plan/join_graph.h). The expression
+// language covers what TPC-DS/JOB-style workloads need: comparisons,
+// BETWEEN, IN, LIKE '%x%' (string containment), modulo selection (used by
+// the paper's Figure 7 micro-benchmark `c_customer_sk % 1000 < @P`), and
+// boolean combinators.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/storage/table.h"
+
+namespace bqo {
+
+enum class ExprKind : uint8_t {
+  kCompare,
+  kBetween,
+  kInList,
+  kStringContains,
+  kModLess,
+  kAnd,
+  kOr,
+  kNot,
+  kTrue,
+};
+
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// \brief Immutable predicate node. Construct via the factory functions
+/// below; shared_ptr lets query specs share subtrees freely.
+struct Expr {
+  ExprKind kind = ExprKind::kTrue;
+
+  // Leaf payload (which fields are meaningful depends on `kind`).
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value literal;
+  int64_t lo = 0, hi = 0;            // kBetween (inclusive)
+  std::vector<int64_t> in_values;    // kInList
+  std::string needle;                // kStringContains
+  int64_t mod_divisor = 1;           // kModLess: column % divisor < bound
+  int64_t mod_bound = 0;
+
+  std::vector<ExprPtr> children;     // kAnd / kOr / kNot
+
+  std::string ToString() const;
+};
+
+// ---- Factory functions (the public way to build predicates) ----
+
+ExprPtr TruePred();
+ExprPtr Compare(std::string column, CompareOp op, Value literal);
+ExprPtr Eq(std::string column, int64_t v);
+ExprPtr EqString(std::string column, std::string v);
+ExprPtr Lt(std::string column, int64_t v);
+ExprPtr Le(std::string column, int64_t v);
+ExprPtr Gt(std::string column, int64_t v);
+ExprPtr Ge(std::string column, int64_t v);
+ExprPtr Between(std::string column, int64_t lo, int64_t hi);
+ExprPtr In(std::string column, std::vector<int64_t> values);
+ExprPtr LikeContains(std::string column, std::string needle);
+ExprPtr ModLess(std::string column, int64_t divisor, int64_t bound);
+ExprPtr And(std::vector<ExprPtr> children);
+ExprPtr Or(std::vector<ExprPtr> children);
+ExprPtr Not(ExprPtr child);
+
+/// \brief Evaluate `expr` over all rows of `table`; returns the selected
+/// row indices in ascending order. kTrue (or null) selects every row.
+std::vector<uint32_t> EvaluatePredicate(const Table& table,
+                                        const ExprPtr& expr);
+
+/// \brief Evaluate `expr` into a per-row byte bitmap (1 = selected).
+std::vector<uint8_t> EvaluateBitmap(const Table& table, const ExprPtr& expr);
+
+}  // namespace bqo

@@ -1,0 +1,68 @@
+// Bitvector filters: probabilistic semi-join reduction structures.
+//
+// A filter is built from the equi-join key column(s) of a hash join's build
+// side and probed with the corresponding probe-side column(s) (Algorithm 1
+// of the paper). All implementations operate on 64-bit composite-key hashes
+// produced by HashComposite(), so multi-column join keys (e.g. the filter
+// built from A ⋈ C in the paper's Figure 1) are handled uniformly.
+//
+// Three implementations:
+//  * ExactFilter  — a hash set; zero false positives. Realizes the paper's
+//                   "no false positives" assumption used in Theorems 4.1/5.1,
+//                   and is what the theorem-validation tests run with.
+//  * BloomFilter  — blocked Bloom filter (one cache line per key); the
+//                   production default, mirroring [7, 24].
+//  * CuckooFilter — 4-way bucketized fingerprint filter [15]; supports a
+//                   space/accuracy trade-off ablation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace bqo {
+
+enum class FilterKind : uint8_t { kExact = 0, kBloom = 1, kCuckoo = 2 };
+
+const char* FilterKindName(FilterKind kind);
+
+/// \brief Interface for bitvector filters over 64-bit key hashes.
+class BitvectorFilter {
+ public:
+  explicit BitvectorFilter(FilterKind kind) : kind_(kind) {}
+  virtual ~BitvectorFilter() = default;
+
+  /// \brief Add a build-side key hash.
+  virtual void Insert(uint64_t hash) = 0;
+
+  /// \brief Probe: false means the key is definitely absent; true means it
+  /// may be present (exactly present for ExactFilter).
+  virtual bool MayContain(uint64_t hash) const = 0;
+
+  /// \brief True iff this implementation can never return a false positive.
+  virtual bool exact() const = 0;
+
+  /// \brief Non-virtual: the executor's hot path branches on this to
+  /// devirtualize the Bloom probe (the Cf of Section 6.3).
+  FilterKind kind() const { return kind_; }
+
+  virtual int64_t SizeBytes() const = 0;
+  virtual int64_t NumInserted() const = 0;
+
+ private:
+  FilterKind kind_;
+};
+
+struct FilterConfig {
+  FilterKind kind = FilterKind::kBloom;
+  /// Bloom: bits per inserted key (8 => ~2% FP, 10 => ~1% FP).
+  double bloom_bits_per_key = 10.0;
+  /// Cuckoo: fingerprint bits (12 => ~0.1% FP at 95% load).
+  int cuckoo_fingerprint_bits = 12;
+};
+
+/// \brief Create a filter sized for ~`expected_keys` insertions.
+std::unique_ptr<BitvectorFilter> CreateFilter(const FilterConfig& config,
+                                              int64_t expected_keys);
+
+}  // namespace bqo

@@ -1,0 +1,93 @@
+#include "src/filter/cuckoo_filter.h"
+
+#include "src/common/hash.h"
+#include "src/common/macros.h"
+
+namespace bqo {
+
+namespace {
+uint64_t NextPow2(uint64_t x) {
+  uint64_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+}  // namespace
+
+CuckooFilter::CuckooFilter(int64_t expected_keys, int fingerprint_bits)
+    : BitvectorFilter(FilterKind::kCuckoo) {
+  BQO_CHECK(fingerprint_bits >= 4 && fingerprint_bits <= 16);
+  fp_mask_ = static_cast<uint16_t>((uint32_t{1} << fingerprint_bits) - 1);
+  // Target ~87.5% max load: buckets = keys / (4 * 0.875), rounded to pow2.
+  const uint64_t want =
+      static_cast<uint64_t>(expected_keys < 16 ? 16 : expected_keys);
+  const uint64_t num_buckets = NextPow2((want + 2) / 3);
+  slots_.assign(num_buckets * kBucketSize, 0);
+  bucket_mask_ = num_buckets - 1;
+}
+
+uint16_t CuckooFilter::FingerprintOf(uint64_t hash) const {
+  // Fingerprint from high bits (index uses low bits); never 0 (empty marker).
+  uint16_t fp = static_cast<uint16_t>((hash >> 45) & fp_mask_);
+  return fp == 0 ? static_cast<uint16_t>(1) : fp;
+}
+
+uint64_t CuckooFilter::IndexOf(uint64_t hash) const {
+  return hash & bucket_mask_;
+}
+
+uint64_t CuckooFilter::AltIndex(uint64_t index, uint16_t fp) const {
+  // Partial-key displacement: i2 = i1 xor hash(fp).
+  return (index ^ Mix64(fp)) & bucket_mask_;
+}
+
+bool CuckooFilter::BucketContains(uint64_t bucket, uint16_t fp) const {
+  const size_t base = static_cast<size_t>(bucket) * kBucketSize;
+  for (int i = 0; i < kBucketSize; ++i) {
+    if (slots_[base + static_cast<size_t>(i)] == fp) return true;
+  }
+  return false;
+}
+
+bool CuckooFilter::TryInsertAt(uint64_t bucket, uint16_t fp) {
+  const size_t base = static_cast<size_t>(bucket) * kBucketSize;
+  for (int i = 0; i < kBucketSize; ++i) {
+    if (slots_[base + static_cast<size_t>(i)] == 0) {
+      slots_[base + static_cast<size_t>(i)] = fp;
+      return true;
+    }
+  }
+  return false;
+}
+
+void CuckooFilter::Insert(uint64_t hash) {
+  ++num_inserted_;
+  if (overflowed_) return;
+  const uint16_t fp = FingerprintOf(hash);
+  const uint64_t i1 = IndexOf(hash);
+  const uint64_t i2 = AltIndex(i1, fp);
+  if (BucketContains(i1, fp) || BucketContains(i2, fp)) return;
+  if (TryInsertAt(i1, fp) || TryInsertAt(i2, fp)) return;
+
+  // Displace: evict a deterministic-pseudo-random victim and relocate.
+  uint64_t bucket = (kick_state_ & 1) ? i2 : i1;
+  uint16_t cur = fp;
+  for (int kick = 0; kick < kMaxKicks; ++kick) {
+    kick_state_ = Mix64(kick_state_ + kick + 1);
+    const size_t base = static_cast<size_t>(bucket) * kBucketSize;
+    const size_t victim = base + (kick_state_ % kBucketSize);
+    std::swap(cur, slots_[victim]);
+    bucket = AltIndex(bucket, cur);
+    if (TryInsertAt(bucket, cur)) return;
+  }
+  overflowed_ = true;  // MayContain now admits everything; still sound.
+}
+
+bool CuckooFilter::MayContain(uint64_t hash) const {
+  if (overflowed_) return true;
+  const uint16_t fp = FingerprintOf(hash);
+  const uint64_t i1 = IndexOf(hash);
+  if (BucketContains(i1, fp)) return true;
+  return BucketContains(AltIndex(i1, fp), fp);
+}
+
+}  // namespace bqo

@@ -1,0 +1,68 @@
+#include "src/filter/exact_filter.h"
+
+#include "src/common/macros.h"
+
+namespace bqo {
+
+namespace {
+uint64_t NextPow2(uint64_t x) {
+  uint64_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+}  // namespace
+
+ExactFilter::ExactFilter(int64_t expected_keys)
+    : BitvectorFilter(FilterKind::kExact) {
+  const uint64_t capacity =
+      NextPow2(static_cast<uint64_t>(expected_keys < 8 ? 8 : expected_keys) *
+               2);
+  slots_.assign(capacity, 0);
+  mask_ = capacity - 1;
+}
+
+void ExactFilter::Insert(uint64_t hash) {
+  ++num_inserted_;
+  if (hash == 0) {
+    if (!has_zero_) {
+      has_zero_ = true;
+      ++num_keys_;
+    }
+    return;
+  }
+  if (BQO_UNLIKELY(static_cast<uint64_t>(num_keys_) * 10 >
+                   slots_.size() * 7)) {
+    Grow();
+  }
+  uint64_t idx = hash & mask_;
+  while (slots_[idx] != 0) {
+    if (slots_[idx] == hash) return;  // already present
+    idx = (idx + 1) & mask_;
+  }
+  slots_[idx] = hash;
+  ++num_keys_;
+}
+
+bool ExactFilter::MayContain(uint64_t hash) const {
+  if (hash == 0) return has_zero_;
+  uint64_t idx = hash & mask_;
+  while (slots_[idx] != 0) {
+    if (slots_[idx] == hash) return true;
+    idx = (idx + 1) & mask_;
+  }
+  return false;
+}
+
+void ExactFilter::Grow() {
+  std::vector<uint64_t> old = std::move(slots_);
+  slots_.assign(old.size() * 2, 0);
+  mask_ = slots_.size() - 1;
+  for (uint64_t h : old) {
+    if (h == 0) continue;
+    uint64_t idx = h & mask_;
+    while (slots_[idx] != 0) idx = (idx + 1) & mask_;
+    slots_[idx] = h;
+  }
+}
+
+}  // namespace bqo

@@ -1,0 +1,41 @@
+// ExactFilter: an open-addressing hash set of 64-bit key hashes.
+//
+// No false positives and no false negatives (on the hash values): this is
+// the filter the paper's analysis assumes ("if the bitvector filters have no
+// false positives", Theorem 4.1/5.1). Note the composite-key *hash* is what
+// is stored; with 64-bit mixed hashes, collisions across distinct key tuples
+// are negligible at decision-support cardinalities (< 2^-24 at 10^6 keys).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/filter/bitvector_filter.h"
+
+namespace bqo {
+
+class ExactFilter final : public BitvectorFilter {
+ public:
+  explicit ExactFilter(int64_t expected_keys);
+
+  void Insert(uint64_t hash) override;
+  bool MayContain(uint64_t hash) const override;
+
+  bool exact() const override { return true; }
+  int64_t SizeBytes() const override {
+    return static_cast<int64_t>(slots_.size() * sizeof(uint64_t));
+  }
+  int64_t NumInserted() const override { return num_inserted_; }
+
+ private:
+  void Grow();
+
+  // 0 is the empty-slot sentinel; a genuine hash of 0 is tracked separately.
+  std::vector<uint64_t> slots_;
+  uint64_t mask_ = 0;
+  int64_t num_keys_ = 0;     // distinct slots occupied
+  int64_t num_inserted_ = 0; // total Insert calls
+  bool has_zero_ = false;
+};
+
+}  // namespace bqo

@@ -1,0 +1,34 @@
+// Baseline join-order optimization: dynamic programming that is blind to
+// bitvector filters — the behavior of "the original Microsoft SQL Server"
+// the paper compares against, where filters are added to the winning plan
+// only as a post-processing step (Algorithm 1).
+//
+// Two enumeration modes:
+//  * right-deep (the space the paper analyzes; default for comparisons),
+//  * bushy DPsub over connected subgraphs (ablation).
+// Queries beyond `max_dp_relations` fall back to a greedy min-expansion
+// heuristic, mirroring how industrial optimizers cap exhaustive search.
+#pragma once
+
+#include "src/plan/cout.h"
+
+namespace bqo {
+
+struct DpOptions {
+  bool bushy = false;
+  int max_dp_relations = 14;
+};
+
+/// \brief Return the estimated-minimum-Cout join order, costing plans
+/// WITHOUT bitvector filter effects (`model` is consulted on plans whose
+/// filter annotations are cleared). The returned plan carries no filter
+/// annotation; callers post-process with PushDownBitvectors.
+Plan OptimizeDpBaseline(const JoinGraph& graph, CoutModel* model,
+                        const DpOptions& options = {});
+
+/// \brief Greedy right-deep order: start at the smallest filtered relation,
+/// repeatedly append the neighbor minimizing the estimated next
+/// intermediate size. Used directly for very large queries.
+Plan OptimizeGreedy(const JoinGraph& graph, CoutModel* model);
+
+}  // namespace bqo

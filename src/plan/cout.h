@@ -1,0 +1,46 @@
+// The Cout cost function (Section 3.3, Equation 1): the cost of a plan is
+// the sum of intermediate result sizes, where every cardinality reflects the
+// bitvector filters applied at or below the operator.
+//
+//   Cout(T) = |T|                              if T is a base table
+//   Cout(T) = |T| + Cout(T1) + Cout(T2)        if T = T1 JOIN T2
+//
+// Cardinalities come from a pluggable model: EstimatedCoutModel (statistics,
+// drives the optimizer) or ExactCoutModel (mini-execution with ideal
+// no-false-positive filters; drives the theorem-validation experiments).
+#pragma once
+
+#include <vector>
+
+#include "src/plan/plan.h"
+
+namespace bqo {
+
+/// \brief Per-node/per-filter cardinality detail for one plan.
+struct CoutBreakdown {
+  /// Cout: sum over all nodes of output cardinality after applied filters.
+  double total = 0;
+  /// Output cardinality per node id (after that node's applied filters).
+  std::vector<double> node_output;
+  /// Output cardinality per node id before its applied filters (equal to
+  /// node_output when no filter applies there).
+  std::vector<double> node_prefilter;
+  /// Per filter id: fraction of tuples eliminated at its application site
+  /// (the lambda of Section 6.3); 0 for pruned filters.
+  std::vector<double> filter_lambda;
+};
+
+/// \brief Interface implemented by the estimated and exact models.
+class CoutModel {
+ public:
+  virtual ~CoutModel() = default;
+
+  /// \brief Cost `plan`, honoring its filter annotations (pruned filters
+  /// are ignored). The plan must have been Renumber()ed.
+  virtual CoutBreakdown Compute(const Plan& plan) = 0;
+
+  /// \brief Convenience: just the total.
+  double Cout(const Plan& plan) { return Compute(plan).total; }
+};
+
+}  // namespace bqo

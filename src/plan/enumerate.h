@@ -1,0 +1,61 @@
+// Plan-space enumeration.
+//
+// Two kinds of enumerators:
+//  * EnumerateRightDeepOrders: the full space of right deep trees without
+//    cross products (exponential; used to validate the theorems and to
+//    measure the "original complexity" column of Table 2).
+//  * Candidate generators for star / branch / snowflake queries: the linear
+//    candidate sets of Theorems 4.1, 5.3 and 5.1. The theorems state that
+//    (under no-false-positive filters and PKFK joins) these n+1 plans
+//    contain a plan of globally minimal Cout.
+#pragma once
+
+#include <vector>
+
+#include "src/plan/join_graph.h"
+
+namespace bqo {
+
+/// \brief All permutations of the graph's relations in which every prefix
+/// is connected (i.e. all right deep trees without cross products). Stops
+/// after `limit` orders.
+std::vector<std::vector<int>> EnumerateRightDeepOrders(
+    const JoinGraph& graph, size_t limit = static_cast<size_t>(-1));
+
+/// \brief Count right deep trees without cross products (up to `limit`).
+size_t CountRightDeepOrders(const JoinGraph& graph,
+                            size_t limit = static_cast<size_t>(-1));
+
+/// \brief Describes a snowflake query (Definition 2). `branches[i]` lists
+/// the branch's relations starting at the one adjacent to the fact table:
+/// R_{i,1}, R_{i,2}, ..., R_{i,ni}. A star query is the special case where
+/// every branch has length 1.
+struct SnowflakeShape {
+  int fact = -1;
+  std::vector<std::vector<int>> branches;
+
+  int TotalRelations() const;
+};
+
+/// \brief Theorem 4.1 candidate orders for a star query with fact table
+/// `fact`: T(R0, R1..Rn) plus T(Rk, R0, rest) for each dimension Rk.
+/// Exactly n+1 orders where n = number of dimensions.
+std::vector<std::vector<int>> StarCandidateOrders(const JoinGraph& graph,
+                                                  int fact);
+
+/// \brief Theorem 5.3 candidate orders for a branch query. `chain` is
+/// R0, R1, ..., Rn with R0 -> R1 -> ... -> Rn (chain[0] is the "fact" end).
+/// Returns T(Rn, Rn-1, ..., R0) plus T(Rk, Rk+1..Rn, Rk-1..R0) for
+/// 0 <= k <= n-1: exactly n+1 orders.
+std::vector<std::vector<int>> BranchCandidateOrders(
+    const std::vector<int>& chain);
+
+/// \brief Theorem 5.1 candidate orders for a snowflake query: the
+/// fact-rightmost partially-ordered plan, plus for every branch i and every
+/// within-branch start position k the plan that joins that branch suffix
+/// first, then the fact, then the remaining branches. Exactly n+1 orders
+/// where n = total number of dimension relations.
+std::vector<std::vector<int>> SnowflakeCandidateOrders(
+    const SnowflakeShape& shape);
+
+}  // namespace bqo

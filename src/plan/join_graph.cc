@@ -1,0 +1,129 @@
+#include "src/plan/join_graph.h"
+
+#include "src/common/string_util.h"
+
+namespace bqo {
+
+int JoinGraph::AddRelation(std::string alias, std::string table_name,
+                           const Table* table, ExprPtr predicate) {
+  BQO_CHECK_MSG(num_relations() < 64, "queries are capped at 64 relations");
+  BQO_CHECK_MSG(FindRelation(alias) < 0, "duplicate relation alias");
+  RelationRef ref;
+  ref.alias = std::move(alias);
+  ref.table_name = std::move(table_name);
+  ref.table = table;
+  ref.predicate = std::move(predicate);
+  if (table != nullptr) {
+    ref.base_rows = static_cast<double>(table->num_rows());
+    ref.filtered_rows = ref.base_rows;  // refined by AttachStatistics
+  }
+  relations_.push_back(std::move(ref));
+  incident_.emplace_back();
+  return num_relations() - 1;
+}
+
+int JoinGraph::AddEdge(JoinEdge edge) {
+  BQO_CHECK(edge.left >= 0 && edge.left < num_relations());
+  BQO_CHECK(edge.right >= 0 && edge.right < num_relations());
+  BQO_CHECK_NE(edge.left, edge.right);
+  BQO_CHECK(!edge.left_cols.empty());
+  BQO_CHECK_EQ(edge.left_cols.size(), edge.right_cols.size());
+  const int id = num_edges();
+  incident_[static_cast<size_t>(edge.left)].push_back(id);
+  incident_[static_cast<size_t>(edge.right)].push_back(id);
+  edges_.push_back(std::move(edge));
+  return id;
+}
+
+void JoinGraph::DeriveUniqueness(const Catalog& catalog) {
+  for (auto& e : edges_) {
+    const RelationRef& lr = relation(e.left);
+    const RelationRef& rr = relation(e.right);
+    e.left_unique = false;
+    e.right_unique = false;
+    for (const auto& col : e.left_cols) {
+      if (catalog.IsUniqueKey(lr.table_name, col)) e.left_unique = true;
+    }
+    for (const auto& col : e.right_cols) {
+      if (catalog.IsUniqueKey(rr.table_name, col)) e.right_unique = true;
+    }
+  }
+}
+
+std::vector<int> JoinGraph::EdgesBetween(RelSet set, int rel) const {
+  std::vector<int> out;
+  for (int eid : incident_[static_cast<size_t>(rel)]) {
+    const JoinEdge& e = edges_[static_cast<size_t>(eid)];
+    const int other = e.Other(rel);
+    if (RelSetContains(set, other)) out.push_back(eid);
+  }
+  return out;
+}
+
+std::vector<int> JoinGraph::EdgesBetweenSets(RelSet a, RelSet b) const {
+  std::vector<int> out;
+  for (int i = 0; i < num_edges(); ++i) {
+    const JoinEdge& e = edges_[static_cast<size_t>(i)];
+    const bool la = RelSetContains(a, e.left);
+    const bool ra = RelSetContains(a, e.right);
+    const bool lb = RelSetContains(b, e.left);
+    const bool rb = RelSetContains(b, e.right);
+    if ((la && rb) || (ra && lb)) out.push_back(i);
+  }
+  return out;
+}
+
+RelSet JoinGraph::Neighbors(RelSet set) const {
+  RelSet out = 0;
+  for (int r = 0; r < num_relations(); ++r) {
+    if (!RelSetContains(set, r)) continue;
+    for (int eid : incident_[static_cast<size_t>(r)]) {
+      out |= RelBit(edges_[static_cast<size_t>(eid)].Other(r));
+    }
+  }
+  return out & ~set;
+}
+
+bool JoinGraph::IsConnected(RelSet set) const {
+  if (set == 0) return false;
+  const int first = __builtin_ctzll(set);
+  RelSet reached = RelBit(first);
+  RelSet frontier = reached;
+  while (frontier != 0) {
+    const RelSet next = (Neighbors(reached) & set);
+    if (next == 0) break;
+    reached |= next;
+    frontier = next;
+  }
+  return reached == set;
+}
+
+int JoinGraph::FindRelation(std::string_view alias) const {
+  for (int i = 0; i < num_relations(); ++i) {
+    if (relations_[static_cast<size_t>(i)].alias == alias) return i;
+  }
+  return -1;
+}
+
+std::string JoinGraph::ToString() const {
+  std::string out = "JoinGraph{\n";
+  for (int i = 0; i < num_relations(); ++i) {
+    const RelationRef& r = relation(i);
+    out += StringFormat("  [%d] %s (%s), |R|=%.0f, |sigma(R)|=%.0f", i,
+                        r.alias.c_str(), r.table_name.c_str(), r.base_rows,
+                        r.filtered_rows);
+    if (r.predicate != nullptr) out += "  WHERE " + r.predicate->ToString();
+    out += "\n";
+  }
+  for (const auto& e : edges_) {
+    out += StringFormat(
+        "  %s.%s %s=%s %s.%s\n", relation(e.left).alias.c_str(),
+        JoinStrings(e.left_cols, ",").c_str(), e.left_unique ? "<K" : "",
+        e.right_unique ? "K>" : "", relation(e.right).alias.c_str(),
+        JoinStrings(e.right_cols, ",").c_str());
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace bqo

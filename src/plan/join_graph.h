@@ -1,0 +1,122 @@
+// Join graph: the logical input to join-order optimization.
+//
+// A query is a set of relations (base tables with optional local predicates,
+// identified by alias so the same table may appear several times, as in JOB)
+// connected by equi-join edges. Edges carry uniqueness metadata: an edge
+// where the join columns form a key of the right side is the paper's
+// "R_left -> R_right" (a PKFK join when the key is a primary key,
+// Definition 1).
+//
+// Relations are indexed 0..n-1; subsets are uint64_t bitmasks (queries are
+// capped at 64 relations; the CUSTOMER-like generator stays below this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/expr/expr.h"
+#include "src/storage/catalog.h"
+
+namespace bqo {
+
+/// \brief Set of relation indices as a bitmask.
+using RelSet = uint64_t;
+
+inline RelSet RelBit(int rel) { return RelSet{1} << rel; }
+inline bool RelSetContains(RelSet set, int rel) {
+  return (set & RelBit(rel)) != 0;
+}
+inline int RelSetCount(RelSet set) { return __builtin_popcountll(set); }
+
+/// \brief A relation occurrence in a query.
+struct RelationRef {
+  std::string alias;       ///< unique within the query
+  std::string table_name;  ///< base table in the catalog
+  const Table* table = nullptr;
+  ExprPtr predicate;       ///< local filter; null/kTrue selects all rows
+
+  // Filled by the statistics layer (AttachStatistics):
+  double base_rows = 0;      ///< |table|
+  double filtered_rows = 0;  ///< |sigma_predicate(table)|
+};
+
+/// \brief An equi-join edge between two relations. `left_cols[i]` joins
+/// `right_cols[i]`. `right_unique` means the join columns form a unique key
+/// of the right side, i.e. left -> right in the paper's notation.
+struct JoinEdge {
+  int left = -1;
+  int right = -1;
+  std::vector<std::string> left_cols;
+  std::vector<std::string> right_cols;
+  bool left_unique = false;
+  bool right_unique = false;
+
+  /// \brief The other endpoint of this edge.
+  int Other(int rel) const { return rel == left ? right : left; }
+  bool Touches(int rel) const { return left == rel || right == rel; }
+};
+
+/// \brief The join graph of one query.
+class JoinGraph {
+ public:
+  /// \brief Add a relation; returns its index. `table` may be null for
+  /// purely analytical graphs (Cout analysis with synthetic cardinalities).
+  int AddRelation(std::string alias, std::string table_name,
+                  const Table* table, ExprPtr predicate);
+
+  /// \brief Add an equi-join edge; uniqueness flags may be set directly or
+  /// derived from a catalog via DeriveUniqueness().
+  int AddEdge(JoinEdge edge);
+
+  /// \brief Set left_unique/right_unique on every edge from catalog key
+  /// metadata (a side is unique if any of its join columns is a declared
+  /// unique key of its base table).
+  void DeriveUniqueness(const Catalog& catalog);
+
+  int num_relations() const { return static_cast<int>(relations_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  const RelationRef& relation(int idx) const {
+    return relations_[static_cast<size_t>(idx)];
+  }
+  RelationRef& relation(int idx) { return relations_[static_cast<size_t>(idx)]; }
+  const JoinEdge& edge(int idx) const { return edges_[static_cast<size_t>(idx)]; }
+  const std::vector<JoinEdge>& edges() const { return edges_; }
+
+  /// \brief Edge ids incident to `rel`.
+  const std::vector<int>& IncidentEdges(int rel) const {
+    return incident_[static_cast<size_t>(rel)];
+  }
+
+  /// \brief Edge ids with exactly one endpoint in `set` and the other being
+  /// `rel` (the edges a join of `set` with `rel` would apply).
+  std::vector<int> EdgesBetween(RelSet set, int rel) const;
+
+  /// \brief Edge ids with one endpoint in `a` and the other in `b`.
+  std::vector<int> EdgesBetweenSets(RelSet a, RelSet b) const;
+
+  /// \brief Relations adjacent to any member of `set`, excluding `set`.
+  RelSet Neighbors(RelSet set) const;
+
+  /// \brief True if the relations in `set` form a connected subgraph.
+  bool IsConnected(RelSet set) const;
+
+  /// \brief Bitmask of all relations.
+  RelSet AllRels() const {
+    return num_relations() == 64 ? ~RelSet{0}
+                                 : (RelSet{1} << num_relations()) - 1;
+  }
+
+  /// \brief Index of the relation with this alias, or -1.
+  int FindRelation(std::string_view alias) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<RelationRef> relations_;
+  std::vector<JoinEdge> edges_;
+  std::vector<std::vector<int>> incident_;
+};
+
+}  // namespace bqo

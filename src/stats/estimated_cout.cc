@@ -1,0 +1,183 @@
+#include "src/stats/estimated_cout.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bqo {
+
+void AttachStatistics(JoinGraph* graph) {
+  for (int r = 0; r < graph->num_relations(); ++r) {
+    RelationRef& rel = graph->relation(r);
+    BQO_CHECK_MSG(rel.table != nullptr,
+                  "AttachStatistics requires bound tables");
+    rel.base_rows = static_cast<double>(rel.table->num_rows());
+    rel.filtered_rows =
+        static_cast<double>(EvaluatePredicate(*rel.table, rel.predicate).size());
+  }
+}
+
+double EstimatedCoutModel::BaseDistinct(const Plan& plan,
+                                        const BoundColumn& col) const {
+  const RelationRef& rel = plan.graph->relation(col.rel);
+  double d = stats_->Distinct(rel.table_name, col.column);
+  if (d <= 0) d = rel.base_rows;
+  if (d <= 0) return 1.0;
+  // Yao's formula: selecting `filtered` of `base` rows from a column with d
+  // distinct values (base/d rows per value) keeps
+  //   d * (1 - (1 - sel)^(base/d))
+  // distinct values. Degenerates to d*sel for key columns and to ~d for
+  // heavily repeated FK columns — Cardenas' with-replacement formula would
+  // wrongly shrink unfiltered keys.
+  const double base = std::max(rel.base_rows, 1.0);
+  const double sel = std::min(1.0, rel.filtered_rows / base);
+  const double rows_per_value = base / d;
+  const double reduced = d * (1.0 - std::pow(1.0 - sel, rows_per_value));
+  return std::max(1.0,
+                  std::min({d, reduced, std::max(rel.filtered_rows, 1.0)}));
+}
+
+double EstimatedCoutModel::CompositeDistinct(
+    const NodeEst& est, const std::vector<BoundColumn>& cols) {
+  double d = 1.0;
+  for (const BoundColumn& c : cols) {
+    auto it = est.distinct.find({c.rel, c.column});
+    d *= (it == est.distinct.end()) ? std::max(est.card, 1.0) : it->second;
+  }
+  return std::max(1.0, std::min(d, std::max(est.card, 1.0)));
+}
+
+void EstimatedCoutModel::ApplyFilters(const Plan& plan, const PlanNode& node,
+                                      NodeEst* est,
+                                      std::vector<FilterEst>* filter_est,
+                                      CoutBreakdown* out) {
+  for (int fid : node.applied_filters) {
+    const PlanFilter& f = plan.filters[static_cast<size_t>(fid)];
+    if (f.pruned) continue;
+    const FilterEst& fe = (*filter_est)[static_cast<size_t>(fid)];
+    BQO_CHECK_MSG(fe.key_distinct > 0,
+                  "filter source estimated after its application site");
+    const double target_d = CompositeDistinct(*est, f.probe_cols);
+    const double rho = std::min(1.0, fe.key_distinct / target_d);
+    const double rho_eff = rho + (1.0 - rho) * fp_rate_;
+    out->filter_lambda[static_cast<size_t>(fid)] = 1.0 - rho_eff;
+    est->card *= rho_eff;
+    for (const BoundColumn& c : f.probe_cols) {
+      auto it = est->distinct.find({c.rel, c.column});
+      if (it != est->distinct.end()) {
+        it->second = std::max(1.0, std::min(it->second, fe.key_distinct));
+      }
+    }
+    // Every distinct count is capped by the (reduced) cardinality.
+    for (auto& [_, d] : est->distinct) {
+      d = std::max(1.0, std::min(d, std::max(est->card, 1.0)));
+    }
+  }
+}
+
+EstimatedCoutModel::NodeEst EstimatedCoutModel::EvalNode(
+    const Plan& plan, const PlanNode& node,
+    std::vector<FilterEst>* filter_est, CoutBreakdown* out) {
+  NodeEst est;
+  if (node.kind == PlanNode::Kind::kLeaf) {
+    const RelationRef& rel = plan.graph->relation(node.relation);
+    est.card = rel.filtered_rows;
+    // Seed distinct counts for every join column of this relation.
+    for (const JoinEdge& e : plan.graph->edges()) {
+      if (e.left == node.relation) {
+        for (const auto& c : e.left_cols) {
+          BoundColumn bc{node.relation, c};
+          est.distinct[{bc.rel, bc.column}] = BaseDistinct(plan, bc);
+        }
+      }
+      if (e.right == node.relation) {
+        for (const auto& c : e.right_cols) {
+          BoundColumn bc{node.relation, c};
+          est.distinct[{bc.rel, bc.column}] = BaseDistinct(plan, bc);
+        }
+      }
+    }
+    for (auto& [_, d] : est.distinct) {
+      d = std::max(1.0, std::min(d, std::max(est.card, 1.0)));
+    }
+    out->node_prefilter[static_cast<size_t>(node.id)] = est.card;
+    ApplyFilters(plan, node, &est, filter_est, out);
+    out->node_output[static_cast<size_t>(node.id)] = est.card;
+    out->total += est.card;
+    return est;
+  }
+
+  // Execution order: build first, then register the created filter's source
+  // estimate, then the probe subtree (which may apply that filter).
+  NodeEst b = EvalNode(plan, *node.build, filter_est, out);
+  if (node.created_filter >= 0) {
+    const PlanFilter& f =
+        plan.filters[static_cast<size_t>(node.created_filter)];
+    FilterEst fe;
+    fe.source_card = b.card;
+    fe.key_distinct = CompositeDistinct(b, f.build_cols);
+    (*filter_est)[static_cast<size_t>(node.created_filter)] = fe;
+  }
+  NodeEst p = EvalNode(plan, *node.probe, filter_est, out);
+
+  // Classic containment formula per applied edge.
+  est.card = b.card * p.card;
+  for (int eid : node.edge_ids) {
+    const JoinEdge& e = plan.graph->edge(eid);
+    const bool left_in_build = RelSetContains(node.build->rel_set, e.left);
+    std::vector<BoundColumn> bcols, pcols;
+    for (size_t i = 0; i < e.left_cols.size(); ++i) {
+      BoundColumn l{e.left, e.left_cols[i]};
+      BoundColumn r{e.right, e.right_cols[i]};
+      bcols.push_back(left_in_build ? l : r);
+      pcols.push_back(left_in_build ? r : l);
+    }
+    const double d_b = CompositeDistinct(b, bcols);
+    const double d_p = CompositeDistinct(p, pcols);
+    est.card /= std::max(d_b, d_p);
+  }
+
+  // Merge distinct maps; join columns take the min of the two sides.
+  est.distinct = b.distinct;
+  for (const auto& [k, d] : p.distinct) {
+    auto it = est.distinct.find(k);
+    if (it == est.distinct.end()) {
+      est.distinct[k] = d;
+    } else {
+      it->second = std::min(it->second, d);
+    }
+  }
+  for (int eid : node.edge_ids) {
+    const JoinEdge& e = plan.graph->edge(eid);
+    for (size_t i = 0; i < e.left_cols.size(); ++i) {
+      auto li = est.distinct.find({e.left, e.left_cols[i]});
+      auto ri = est.distinct.find({e.right, e.right_cols[i]});
+      if (li != est.distinct.end() && ri != est.distinct.end()) {
+        const double m = std::min(li->second, ri->second);
+        li->second = m;
+        ri->second = m;
+      }
+    }
+  }
+  for (auto& [_, d] : est.distinct) {
+    d = std::max(1.0, std::min(d, std::max(est.card, 1.0)));
+  }
+
+  out->node_prefilter[static_cast<size_t>(node.id)] = est.card;
+  ApplyFilters(plan, node, &est, filter_est, out);
+  out->node_output[static_cast<size_t>(node.id)] = est.card;
+  out->total += est.card;
+  return est;
+}
+
+CoutBreakdown EstimatedCoutModel::Compute(const Plan& plan) {
+  BQO_CHECK(plan.root != nullptr && !plan.nodes.empty());
+  CoutBreakdown out;
+  out.node_output.assign(plan.nodes.size(), 0.0);
+  out.node_prefilter.assign(plan.nodes.size(), 0.0);
+  out.filter_lambda.assign(plan.filters.size(), 0.0);
+  std::vector<FilterEst> filter_est(plan.filters.size());
+  EvalNode(plan, *plan.root, &filter_est, &out);
+  return out;
+}
+
+}  // namespace bqo

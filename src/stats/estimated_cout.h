@@ -1,0 +1,70 @@
+// Statistics-based implementation of the Cout model (Section 3.3).
+//
+// This is the cardinality oracle the optimizers plan with. It walks the
+// annotated plan in execution order (build sides before probe sides, so the
+// contents of every bitvector filter are estimated before the subtree it
+// filters), estimating:
+//  * base cardinalities after local predicates (exact, see AttachStatistics),
+//  * join cardinalities via the classic distinct-value containment formula
+//      |B JOIN P| = |B| * |P| / max(d_B(k), d_P(k)),
+//  * semi-join (bitvector) retention rho = d_source(k) / d_target(k) with
+//    per-column distinct counts propagated through joins and filters
+//    (so a join after a fully reducing filter is not double-counted),
+//  * optional false-positive leakage: retention' = rho + (1 - rho) * fp.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "src/plan/cout.h"
+#include "src/stats/table_stats.h"
+
+namespace bqo {
+
+/// \brief Compute filtered_rows for every relation of `graph` by evaluating
+/// local predicates against the base tables (exact single-table
+/// cardinalities; see the module comment in table_stats.h).
+void AttachStatistics(JoinGraph* graph);
+
+class EstimatedCoutModel : public CoutModel {
+ public:
+  /// \param stats     statistics provider (not owned)
+  /// \param fp_rate   assumed false-positive rate of bitvector filters
+  ///                  (0 models the paper's "no false positives" analysis)
+  explicit EstimatedCoutModel(StatsCatalog* stats, double fp_rate = 0.0)
+      : stats_(stats), fp_rate_(fp_rate) {}
+
+  CoutBreakdown Compute(const Plan& plan) override;
+
+ private:
+  struct NodeEst {
+    double card = 0;
+    /// Estimated distinct count per bound column of interest.
+    std::map<std::pair<int, std::string>, double> distinct;
+  };
+
+  /// Per-filter estimated source state (card + composite key distinct).
+  struct FilterEst {
+    double source_card = 0;
+    double key_distinct = 0;
+  };
+
+  NodeEst EvalNode(const Plan& plan, const PlanNode& node,
+                   std::vector<FilterEst>* filter_est, CoutBreakdown* out);
+
+  double BaseDistinct(const Plan& plan, const BoundColumn& col) const;
+
+  /// Composite-key distinct of `cols` in a node estimate: the product of
+  /// per-column distincts capped by the node cardinality.
+  static double CompositeDistinct(
+      const NodeEst& est, const std::vector<BoundColumn>& cols);
+
+  void ApplyFilters(const Plan& plan, const PlanNode& node, NodeEst* est,
+                    std::vector<FilterEst>* filter_est, CoutBreakdown* out);
+
+  StatsCatalog* stats_;
+  double fp_rate_;
+};
+
+}  // namespace bqo

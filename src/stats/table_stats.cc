@@ -1,0 +1,39 @@
+#include "src/stats/table_stats.h"
+
+#include <algorithm>
+
+namespace bqo {
+
+const TableStatsData& StatsCatalog::Get(const std::string& table) {
+  auto it = cache_.find(table);
+  if (it != cache_.end()) return it->second;
+
+  TableStatsData stats;
+  auto result = catalog_->GetTable(table);
+  BQO_CHECK_MSG(result.ok(), "StatsCatalog: unknown table");
+  const Table* t = result.value();
+  stats.rows = t->num_rows();
+  for (int c = 0; c < t->num_columns(); ++c) {
+    const Column& col = t->column(c);
+    ColumnStatsData cs;
+    cs.distinct = col.CountDistinct();
+    if (col.type() == DataType::kInt64 && t->num_rows() > 0) {
+      const int64_t* data = col.int_data();
+      auto [mn, mx] = std::minmax_element(data, data + t->num_rows());
+      cs.min_value = *mn;
+      cs.max_value = *mx;
+    }
+    stats.columns.emplace(col.name(), cs);
+  }
+  return cache_.emplace(table, std::move(stats)).first->second;
+}
+
+double StatsCatalog::Distinct(const std::string& table,
+                              const std::string& column) {
+  const TableStatsData& stats = Get(table);
+  auto it = stats.columns.find(column);
+  return it == stats.columns.end() ? 0.0
+                                   : static_cast<double>(it->second.distinct);
+}
+
+}  // namespace bqo

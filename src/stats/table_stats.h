@@ -1,0 +1,43 @@
+// Table and column statistics, and the statistics catalog.
+//
+// Statistics are exact where cheap (row counts, per-column distinct counts
+// computed once per table and cached) — the paper's evaluation uses SQL
+// Server's estimator, which gets single-table numbers approximately right;
+// modeling estimation *error* is out of scope for reproducing its claims.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "src/storage/catalog.h"
+
+namespace bqo {
+
+struct ColumnStatsData {
+  int64_t distinct = 0;
+  int64_t min_value = 0;  ///< INT64 columns only
+  int64_t max_value = 0;  ///< INT64 columns only
+};
+
+struct TableStatsData {
+  int64_t rows = 0;
+  std::unordered_map<std::string, ColumnStatsData> columns;
+};
+
+/// \brief Lazily computed, cached statistics for every table in a catalog.
+class StatsCatalog {
+ public:
+  explicit StatsCatalog(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// \brief Statistics for `table`; computed on first request.
+  const TableStatsData& Get(const std::string& table);
+
+  /// \brief Distinct count of `column` in `table` (0 if unknown).
+  double Distinct(const std::string& table, const std::string& column);
+
+ private:
+  const Catalog* catalog_;
+  std::unordered_map<std::string, TableStatsData> cache_;
+};
+
+}  // namespace bqo

@@ -1,0 +1,61 @@
+// Catalog: the set of tables in a database plus key metadata.
+//
+// The optimizer consumes two kinds of metadata the paper's analysis depends
+// on: which columns are unique (primary keys — the "R1 -> R2" direction of
+// Definition 1), and declared foreign-key relationships (used by the
+// snowflake detector in Algorithm 3).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/storage/table.h"
+
+namespace bqo {
+
+/// \brief Declared FK: fk_table.fk_column references pk_table.pk_column.
+struct ForeignKeyDef {
+  std::string fk_table;
+  std::string fk_column;
+  std::string pk_table;
+  std::string pk_column;
+};
+
+class Catalog {
+ public:
+  /// \brief Create and register an empty table; fails on duplicate name.
+  Result<Table*> CreateTable(std::string name, std::vector<FieldDef> fields);
+
+  Result<Table*> GetTable(std::string_view name);
+  Result<const Table*> GetTable(std::string_view name) const;
+
+  /// \brief Declare `column` unique in `table` (primary key or unique key).
+  Status DeclarePrimaryKey(const std::string& table,
+                           const std::string& column);
+
+  /// \brief Declare a foreign key; both endpoints must exist.
+  Status DeclareForeignKey(const ForeignKeyDef& fk);
+
+  bool IsUniqueKey(const std::string& table, const std::string& column) const;
+
+  const std::vector<ForeignKeyDef>& foreign_keys() const {
+    return foreign_keys_;
+  }
+
+  std::vector<const Table*> tables() const;
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+
+  int64_t TotalMemoryBytes() const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<std::string> table_order_;  // creation order, for stable output
+  // (table, column) pairs declared unique.
+  std::unordered_map<std::string, std::vector<std::string>> unique_keys_;
+  std::vector<ForeignKeyDef> foreign_keys_;
+};
+
+}  // namespace bqo

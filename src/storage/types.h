@@ -1,0 +1,55 @@
+// Scalar type system for the storage engine.
+//
+// The engine supports the three types decision-support benchmarks actually
+// exercise: 64-bit integers (keys, quantities), doubles (measures), and
+// dictionary-encoded strings (dimension attributes touched by LIKE-style
+// predicates). Join keys are always INT64.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace bqo {
+
+enum class DataType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+};
+
+const char* DataTypeName(DataType type);
+
+/// \brief A single scalar value; used for literals in predicates and for
+/// row-level debugging access, never on the hot execution path.
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+
+  DataType type() const {
+    switch (v_.index()) {
+      case 0:
+        return DataType::kInt64;
+      case 1:
+        return DataType::kDouble;
+      default:
+        return DataType::kString;
+    }
+  }
+
+  int64_t AsInt64() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+}  // namespace bqo

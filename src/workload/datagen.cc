@@ -1,0 +1,111 @@
+#include "src/workload/datagen.h"
+
+#include "src/common/string_util.h"
+
+namespace bqo {
+
+namespace {
+
+/// Themed label pool: every label is `<stem><i>` with a few recurring
+/// substrings ("ge", "pro", "max") so LIKE '%x%' predicates have a range of
+/// selectivities that scale with the pool, not the row count.
+std::vector<std::string> MakeLabelPool(int size, Rng* rng) {
+  static const char* kStems[] = {"gadget", "prowler", "maxim",  "orange",
+                                 "silver", "bridge",  "harbor", "quartz",
+                                 "meadow", "proton"};
+  std::vector<std::string> pool;
+  pool.reserve(static_cast<size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    const char* stem = kStems[rng->Uniform(10)];
+    pool.push_back(StringFormat("%s_%s%d", stem,
+                                RandomString(*rng, 2, 5).c_str(), i));
+  }
+  return pool;
+}
+
+}  // namespace
+
+Table* GenerateTable(Catalog* catalog, const TableGenSpec& spec, Rng* rng) {
+  std::vector<FieldDef> fields;
+  if (spec.with_pk) {
+    fields.push_back({spec.name + "_id", DataType::kInt64});
+  }
+  for (const FkSpec& fk : spec.fks) {
+    fields.push_back({fk.column, DataType::kInt64});
+  }
+  for (int a = 0; a < spec.num_int_attrs; ++a) {
+    fields.push_back({StringFormat("attr%d", a), DataType::kInt64});
+  }
+  if (spec.with_measure) fields.push_back({"measure", DataType::kInt64});
+  if (spec.with_label) fields.push_back({"label", DataType::kString});
+
+  auto created = catalog->CreateTable(spec.name, std::move(fields));
+  BQO_CHECK_MSG(created.ok(), created.status().ToString().c_str());
+  Table* table = created.value();
+
+  // Resolve FK domains up front.
+  struct FkDomain {
+    int64_t ref_rows;
+    ZipfGenerator zipf;
+    double dangle;
+  };
+  std::vector<FkDomain> domains;
+  for (const FkSpec& fk : spec.fks) {
+    auto ref = catalog->GetTable(fk.ref_table);
+    BQO_CHECK_MSG(ref.ok(), "FK references missing table");
+    const int64_t ref_rows = ref.value()->num_rows();
+    BQO_CHECK_MSG(ref_rows > 0, "FK references empty table");
+    domains.push_back(FkDomain{
+        ref_rows,
+        ZipfGenerator(static_cast<uint64_t>(ref_rows), fk.zipf_theta),
+        fk.dangle_fraction});
+  }
+
+  const std::vector<std::string> pool =
+      spec.with_label ? MakeLabelPool(spec.label_pool_size, rng)
+                      : std::vector<std::string>{};
+
+  int col = 0;
+  (void)col;
+  for (int64_t row = 0; row < spec.rows; ++row) {
+    int c = 0;
+    if (spec.with_pk) table->column(c++).AppendInt64(row);
+    for (size_t f = 0; f < spec.fks.size(); ++f) {
+      const FkDomain& dom = domains[f];
+      int64_t v;
+      if (dom.dangle > 0 && rng->Bernoulli(dom.dangle)) {
+        v = dom.ref_rows + static_cast<int64_t>(rng->Uniform(
+                               static_cast<uint64_t>(dom.ref_rows) + 1));
+      } else {
+        v = static_cast<int64_t>(dom.zipf.Sample(*rng));
+      }
+      table->column(c++).AppendInt64(v);
+    }
+    for (int a = 0; a < spec.num_int_attrs; ++a) {
+      table->column(c++).AppendInt64(static_cast<int64_t>(
+          rng->Uniform(static_cast<uint64_t>(spec.attr_domain))));
+    }
+    if (spec.with_measure) {
+      table->column(c++).AppendInt64(
+          static_cast<int64_t>(rng->Uniform(10000)));
+    }
+    if (spec.with_label) {
+      table->column(c++).AppendString(pool[rng->Uniform(pool.size())]);
+    }
+  }
+  table->FinishBulkLoad();
+
+  if (spec.with_pk) {
+    BQO_CHECK(catalog->DeclarePrimaryKey(spec.name, spec.name + "_id").ok());
+  }
+  for (const FkSpec& fk : spec.fks) {
+    BQO_CHECK(catalog
+                  ->DeclareForeignKey(ForeignKeyDef{spec.name, fk.column,
+                                                    fk.ref_table,
+                                                    fk.ref_column})
+                  .ok());
+  }
+  return table;
+}
+
+}  // namespace bqo

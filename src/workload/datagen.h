@@ -1,0 +1,48 @@
+// Synthetic data generation for dimension/fact tables.
+//
+// Conventions produced by GenerateTable for a spec named T:
+//  * `T_id`       — primary key 0..rows-1 (declared unique) when with_pk
+//  * one column per FkSpec, sampled from [0, ref_rows) of the referenced
+//    table (optionally Zipf-skewed, optionally with dangling values beyond
+//    the referenced domain to model non-containment)
+//  * `attr0..attrK` — int64 uniform in [0, attr_domain)
+//  * `measure`    — int64 uniform in [0, 10000)
+//  * `label`      — dictionary string drawn from a themed pool (substring
+//                   predicates hit a controllable fraction of the pool)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/storage/catalog.h"
+
+namespace bqo {
+
+struct FkSpec {
+  std::string column;
+  std::string ref_table;   ///< must already exist in the catalog
+  std::string ref_column;  ///< usually "<ref_table>_id"
+  double zipf_theta = 0.0; ///< 0 = uniform
+  /// Fraction of values drawn beyond the referenced key domain (dangling;
+  /// such rows never join — models dirty non-PKFK data).
+  double dangle_fraction = 0.0;
+};
+
+struct TableGenSpec {
+  std::string name;
+  int64_t rows = 0;
+  bool with_pk = true;
+  std::vector<FkSpec> fks;
+  int num_int_attrs = 2;
+  int64_t attr_domain = 1000;
+  bool with_measure = true;
+  bool with_label = true;
+  int label_pool_size = 500;
+};
+
+/// \brief Generate and register a table; declares its PK and FKs in the
+/// catalog. Dies on spec errors (generation is programmatic, not user input).
+Table* GenerateTable(Catalog* catalog, const TableGenSpec& spec, Rng* rng);
+
+}  // namespace bqo

@@ -1,0 +1,54 @@
+#include "src/workload/predicate_gen.h"
+
+#include <cmath>
+
+namespace bqo {
+
+double LogUniformSel(Rng* rng, double lo, double hi) {
+  const double llo = std::log(lo);
+  const double lhi = std::log(hi);
+  return std::exp(llo + (lhi - llo) * rng->NextDouble());
+}
+
+ExprPtr AttrRangePredicate(Rng* rng, double sel) {
+  (void)rng;
+  int64_t bound = static_cast<int64_t>(sel * 1000.0);
+  if (bound < 1) bound = 1;
+  return Lt("attr0", bound);
+}
+
+ExprPtr RandomDimPredicate(Rng* rng, double sel, bool has_label) {
+  const uint64_t family = rng->Uniform(has_label ? 4 : 3);
+  int64_t width = static_cast<int64_t>(sel * 1000.0);
+  if (width < 1) width = 1;
+  switch (family) {
+    case 0:
+      return Lt("attr0", width);
+    case 1: {
+      const int64_t lo = static_cast<int64_t>(rng->Uniform(
+          static_cast<uint64_t>(1000 - std::min<int64_t>(width, 999))));
+      return Between("attr1", lo, lo + width - 1);
+    }
+    case 2: {
+      // IN-list of ~sel*1000 distinct points.
+      std::vector<int64_t> values;
+      const int64_t count = std::max<int64_t>(1, width);
+      for (int64_t i = 0; i < count && i < 64; ++i) {
+        values.push_back(static_cast<int64_t>(rng->Uniform(1000)));
+      }
+      if (count > 64) {
+        // Large IN-lists degenerate to a range for generation economy.
+        return Lt("attr0", width);
+      }
+      return In("attr0", std::move(values));
+    }
+    default: {
+      // Substring families with known pool hit rates (see MakeLabelPool):
+      // "ge" ~ gadget/orange/bridge, "pro" ~ prowler/proton, "qu" ~ quartz.
+      static const char* kNeedles[] = {"ge", "pro", "qu", "har", "ow"};
+      return LikeContains("label", kNeedles[rng->Uniform(5)]);
+    }
+  }
+}
+
+}  // namespace bqo

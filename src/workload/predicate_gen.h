@@ -1,0 +1,26 @@
+// Random predicate generation shared by the workload factories.
+//
+// Works against datagen's column conventions (attr0/attr1 uniform over
+// [0, 1000), `label` from the themed string pool), producing the predicate
+// families decision-support benchmarks use: range, IN-list, LIKE-substring.
+#pragma once
+
+#include "src/common/rng.h"
+#include "src/expr/expr.h"
+
+namespace bqo {
+
+/// \brief Log-uniform selectivity in [lo, hi] (decision-support predicates
+/// span orders of magnitude; uniform sampling would under-represent the
+/// selective end that makes bitvector filters interesting).
+double LogUniformSel(Rng* rng, double lo, double hi);
+
+/// \brief `attr0 < sel * 1000` — selectivity ~= sel on datagen tables.
+ExprPtr AttrRangePredicate(Rng* rng, double sel);
+
+/// \brief A random predicate of a random family with selectivity ~sel:
+/// range on attr0, BETWEEN on attr1, IN-list on attr0, or LIKE on label
+/// (when `has_label`).
+ExprPtr RandomDimPredicate(Rng* rng, double sel, bool has_label);
+
+}  // namespace bqo

@@ -1,0 +1,51 @@
+// Workload runner: optimize + execute every query of a workload under one
+// or more optimizer modes, collecting the measurements the paper reports —
+// per-query CPU time (Figures 8 and 10, Table 4), operator tuple counts
+// (Figure 9), filter usage (Table 4), and optimization time (overhead).
+#pragma once
+
+#include <vector>
+
+#include "src/exec/executor.h"
+#include "src/optimizer/optimizer.h"
+#include "src/workload/workload.h"
+
+namespace bqo {
+
+struct QueryRun {
+  std::string query_name;
+  OptimizerMode mode = OptimizerMode::kBqoShallow;
+  QueryMetrics metrics;       ///< best (minimum-time) of `repeats` runs
+  double estimated_cost = 0;
+  int64_t optimize_ns = 0;
+  int num_joins = 0;
+  int pruned_filters = 0;
+  bool used_bitvectors = false;
+};
+
+struct RunOptions {
+  /// Warm repetitions per query; the minimum CPU time is kept (the paper
+  /// averages ten warm runs; min-of-k is the low-variance equivalent).
+  int repeats = 2;
+  OptimizerOptions optimizer;
+  ExecutionOptions execution;
+  /// Run only the first `limit` queries (0 = all); smoke tests use this.
+  size_t limit = 0;
+};
+
+/// \brief Run every query of `workload` under `mode`; results are index-
+/// aligned with workload.queries.
+std::vector<QueryRun> RunWorkload(const Workload& workload,
+                                  OptimizerMode mode,
+                                  const RunOptions& options = {});
+
+/// \brief Selectivity groups of Figure 8: queries split into terciles by
+/// the CPU time of their BASELINE runs — S(mall) = cheapest third,
+/// L(arge) = most expensive third.
+enum class QueryGroup { kS = 0, kM = 1, kL = 2 };
+
+/// \brief Group assignment per query, computed from baseline CPU times.
+std::vector<QueryGroup> GroupBySelectivity(
+    const std::vector<QueryRun>& baseline_runs);
+
+}  // namespace bqo

@@ -1,0 +1,222 @@
+// TPC-DS-like workload: three sales facts over shared dimensions with a
+// customer -> address / household_demographics -> income_band snowflake,
+// and 99 generated decision-support queries.
+//
+// Substitution note (see DESIGN.md): the paper runs TPC-DS 100GB on SQL
+// Server columnstores. This generator reproduces the *shape* that matters
+// to the paper's claims — star/snowflake PKFK topology, skewed foreign
+// keys, predicates spanning selectivity orders of magnitude, occasional
+// two-fact (galaxy) queries — at laptop scale.
+#include <algorithm>
+
+#include "src/common/string_util.h"
+#include "src/workload/datagen.h"
+#include "src/workload/predicate_gen.h"
+#include "src/workload/workload.h"
+
+namespace bqo {
+
+namespace {
+
+struct FactDef {
+  const char* name;
+  int64_t rows;
+  std::vector<FkSpec> fks;
+};
+
+}  // namespace
+
+Workload MakeTpcdsLite(double scale, uint64_t seed) {
+  Workload w;
+  w.name = "TPC-DS";
+  w.catalog = std::make_unique<Catalog>();
+  w.emulated_columnstores = 20;
+  Rng rng(seed);
+
+  auto dim = [&](const char* name, int64_t rows,
+                 std::vector<FkSpec> fks = {}) {
+    TableGenSpec spec;
+    spec.name = name;
+    spec.rows = std::max<int64_t>(8, rows);
+    spec.fks = std::move(fks);
+    GenerateTable(w.catalog.get(), spec, &rng);
+  };
+
+  // Dimensions, innermost snowflake levels first.
+  dim("income_band", 20);
+  dim("customer_address", 4000);
+  dim("household_demographics", 1000,
+      {FkSpec{"income_band_fk", "income_band", "income_band_id", 0.0, 0.0}});
+  dim("customer", 8000,
+      {FkSpec{"customer_address_fk", "customer_address",
+              "customer_address_id", 0.3, 0.0},
+       FkSpec{"household_demographics_fk", "household_demographics",
+              "household_demographics_id", 0.3, 0.0}});
+  dim("date_dim", 3650);
+  dim("item", 3000);
+  dim("store", 60);
+  dim("promotion", 300);
+  dim("time_dim", 2000);
+  dim("warehouse", 25);
+  dim("ship_mode", 20);
+
+  auto fk = [](const char* col, const char* ref, double zipf) {
+    return FkSpec{col, ref, std::string(ref) + "_id", zipf, 0.0};
+  };
+
+  const std::vector<FactDef> facts = {
+      {"store_sales", static_cast<int64_t>(300000 * scale),
+       {fk("date_dim_fk", "date_dim", 0.4), fk("item_fk", "item", 0.8),
+        fk("customer_fk", "customer", 0.6), fk("store_fk", "store", 0.3),
+        fk("promotion_fk", "promotion", 0.7),
+        fk("household_demographics_fk", "household_demographics", 0.2),
+        fk("time_dim_fk", "time_dim", 0.0)}},
+      {"web_sales", static_cast<int64_t>(150000 * scale),
+       {fk("date_dim_fk", "date_dim", 0.4), fk("item_fk", "item", 0.8),
+        fk("customer_fk", "customer", 0.6),
+        fk("ship_mode_fk", "ship_mode", 0.2),
+        fk("warehouse_fk", "warehouse", 0.2),
+        fk("promotion_fk", "promotion", 0.7),
+        fk("time_dim_fk", "time_dim", 0.0)}},
+      {"catalog_sales", static_cast<int64_t>(180000 * scale),
+       {fk("date_dim_fk", "date_dim", 0.4), fk("item_fk", "item", 0.8),
+        fk("customer_fk", "customer", 0.6),
+        fk("warehouse_fk", "warehouse", 0.2),
+        fk("ship_mode_fk", "ship_mode", 0.2),
+        fk("promotion_fk", "promotion", 0.7)}},
+  };
+  for (const FactDef& f : facts) {
+    TableGenSpec spec;
+    spec.name = f.name;
+    spec.rows = std::max<int64_t>(1000, f.rows);
+    spec.with_pk = false;
+    spec.fks = f.fks;
+    spec.with_label = false;
+    GenerateTable(w.catalog.get(), spec, &rng);
+  }
+
+  // ---- 99 generated queries ----
+  for (int q = 0; q < 99; ++q) {
+    QuerySpec spec;
+    spec.name = StringFormat("tpcds_q%02d", q + 1);
+
+    const uint64_t fpick = rng.Uniform(4);
+    const FactDef& fact = facts[fpick >= 2 ? fpick - 1 : 0];
+
+    spec.relations.push_back({fact.name, fact.name, nullptr});
+    // Occasional fact-side predicate.
+    if (rng.Bernoulli(0.15)) {
+      spec.relations.back().predicate =
+          AttrRangePredicate(&rng, LogUniformSel(&rng, 0.05, 0.9));
+    }
+
+    bool has_customer = false;
+    int included = 0;
+    for (const FkSpec& f : fact.fks) {
+      if (!rng.Bernoulli(0.72)) continue;
+      ++included;
+      spec.relations.push_back({f.ref_table, f.ref_table, nullptr});
+      spec.joins.push_back({fact.name, f.column, f.ref_table, f.ref_column});
+      if (rng.Bernoulli(0.65)) {
+        spec.relations.back().predicate = RandomDimPredicate(
+            &rng, LogUniformSel(&rng, 0.005, 0.8), /*has_label=*/true);
+      }
+      if (f.ref_table == std::string("customer")) has_customer = true;
+    }
+    if (included < 2) {
+      // Guarantee a join query: force the first two dimensions.
+      for (size_t i = 0; included < 2 && i < fact.fks.size(); ++i) {
+        const FkSpec& f = fact.fks[i];
+        bool already = false;
+        for (const auto& r : spec.relations) {
+          if (r.alias == f.ref_table) already = true;
+        }
+        if (already) continue;
+        spec.relations.push_back({f.ref_table, f.ref_table,
+                                  RandomDimPredicate(&rng, 0.1, true)});
+        spec.joins.push_back(
+            {fact.name, f.column, f.ref_table, f.ref_column});
+        if (f.ref_table == std::string("customer")) has_customer = true;
+        ++included;
+      }
+    }
+
+    // Snowflake extension through customer. household_demographics may
+    // already be a direct dimension of store_sales; in that case only the
+    // extra join edge is added (customer and the fact then share it — a
+    // cyclic join graph, which the optimizer must handle).
+    auto has_alias = [&spec](const char* alias) {
+      for (const auto& r : spec.relations) {
+        if (r.alias == alias) return true;
+      }
+      return false;
+    };
+    if (has_customer) {
+      if (rng.Bernoulli(0.5) && !has_alias("customer_address")) {
+        spec.relations.push_back(
+            {"customer_address", "customer_address",
+             rng.Bernoulli(0.6)
+                 ? RandomDimPredicate(&rng, LogUniformSel(&rng, 0.01, 0.5),
+                                      true)
+                 : nullptr});
+        spec.joins.push_back({"customer", "customer_address_fk",
+                              "customer_address", "customer_address_id"});
+      }
+      if (rng.Bernoulli(0.4)) {
+        if (!has_alias("household_demographics")) {
+          spec.relations.push_back(
+              {"household_demographics", "household_demographics", nullptr});
+        }
+        spec.joins.push_back({"customer", "household_demographics_fk",
+                              "household_demographics",
+                              "household_demographics_id"});
+        if (rng.Bernoulli(0.5) && !has_alias("income_band")) {
+          spec.relations.push_back(
+              {"income_band", "income_band",
+               RandomDimPredicate(&rng, LogUniformSel(&rng, 0.05, 0.6),
+                                  true)});
+          spec.joins.push_back({"household_demographics", "income_band_fk",
+                                "income_band", "income_band_id"});
+        }
+      }
+    }
+
+    // Galaxy: a second fact sharing item and date_dim (~12% of queries).
+    if (rng.Bernoulli(0.12)) {
+      const FactDef& other =
+          facts[(&fact == &facts[0]) ? 1 + rng.Uniform(2) : 0];
+      bool has_item = false, has_date = false;
+      for (const auto& r : spec.relations) {
+        if (r.alias == "item") has_item = true;
+        if (r.alias == "date_dim") has_date = true;
+      }
+      if (!has_item) {
+        spec.relations.push_back(
+            {"item", "item", RandomDimPredicate(&rng, 0.05, true)});
+        spec.joins.push_back({fact.name, "item_fk", "item", "item_id"});
+      }
+      spec.relations.push_back({other.name, other.name, nullptr});
+      spec.joins.push_back({other.name, "item_fk", "item", "item_id"});
+      if (has_date) {
+        spec.joins.push_back(
+            {other.name, "date_dim_fk", "date_dim", "date_dim_id"});
+      }
+    }
+
+    // Aggregate.
+    if (rng.Bernoulli(0.4)) {
+      spec.agg.kind = AggKind::kSum;
+      spec.agg.sum_column = BoundColumn{0, "measure"};
+    }
+    if (rng.Bernoulli(0.3) && spec.relations.size() > 1) {
+      spec.agg.has_group_by = true;
+      const size_t rel = 1 + rng.Uniform(spec.relations.size() - 1);
+      spec.agg.group_column = BoundColumn{static_cast<int>(rel), "attr1"};
+    }
+
+    w.queries.push_back(std::move(spec));
+  }
+  return w;
+}
+
+}  // namespace bqo

@@ -1,0 +1,29 @@
+#include "src/workload/workload.h"
+
+#include <cstdlib>
+
+namespace bqo {
+
+double Workload::AvgJoins() const {
+  if (queries.empty()) return 0;
+  double total = 0;
+  for (const QuerySpec& q : queries) total += q.num_joins();
+  return total / static_cast<double>(queries.size());
+}
+
+int Workload::MaxJoins() const {
+  int max_joins = 0;
+  for (const QuerySpec& q : queries) {
+    max_joins = std::max(max_joins, q.num_joins());
+  }
+  return max_joins;
+}
+
+double ScaleFromEnv() {
+  const char* s = std::getenv("BQO_SCALE");
+  if (s == nullptr) return 1.0;
+  const double v = std::atof(s);
+  return v > 0 ? v : 1.0;
+}
+
+}  // namespace bqo

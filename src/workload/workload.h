@@ -1,0 +1,53 @@
+// Workload abstraction: a generated database plus a suite of decision
+// support queries, standing in for the paper's three evaluation workloads
+// (TPC-DS 100GB, JOB, and the CUSTOMER workload — Table 3).
+//
+// Scale: every factory takes a `scale` multiplier on fact-table rows so the
+// experiments run anywhere from smoke-test size (scale 0.1) to multi-minute
+// runs (scale 4+). Shapes (who wins, crossovers) are scale-invariant because
+// they are driven by selectivities and topology.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/workload/query.h"
+
+namespace bqo {
+
+struct Workload {
+  std::string name;
+  std::unique_ptr<Catalog> catalog;
+  std::vector<QuerySpec> queries;
+
+  /// Emulated physical design, reported in Table 3 (the engine itself is
+  /// columnar; these counts mirror the paper's setups).
+  int emulated_btree_indexes = 0;
+  int emulated_columnstores = 0;
+
+  double AvgJoins() const;
+  int MaxJoins() const;
+  int64_t DatabaseBytes() const { return catalog->TotalMemoryBytes(); }
+};
+
+/// \brief TPC-DS-like: 3 sales facts over shared dimensions with a
+/// customer->address/demographics snowflake; 99 star/snowflake queries
+/// (some joining two facts through shared dimensions).
+Workload MakeTpcdsLite(double scale = 1.0, uint64_t seed = 20200614);
+
+/// \brief JOB-like (IMDB): relationship facts (movie_keyword, cast_info,
+/// movie_companies, movie_info) around a large `title` hub plus dimension-
+/// dimension joins; 113 queries with multiple fact tables and large
+/// dimensions — the paper's most complex join graphs.
+Workload MakeJobLite(double scale = 1.0, uint64_t seed = 19930501);
+
+/// \brief CUSTOMER-like: a wide galaxy schema (dozens of tables, snowflake
+/// depth 3) with 100 queries averaging ~25 joins, emulating the paper's
+/// 475-table customer workload with B+-tree physical design.
+Workload MakeCustomerLite(double scale = 1.0, uint64_t seed = 7001);
+
+/// \brief Scale factor from the BQO_SCALE environment variable (default 1).
+double ScaleFromEnv();
+
+}  // namespace bqo

@@ -1,0 +1,117 @@
+// Sanity of the statistics-based Cout model: the estimates the optimizer
+// plans with should track exact cardinalities on clean PKFK data, and the
+// semi-join/join interaction must not double-count reductions.
+#include <gtest/gtest.h>
+
+#include "src/exec/exact_cout.h"
+#include "src/plan/pushdown.h"
+#include "src/stats/estimated_cout.h"
+#include "test_util.h"
+
+namespace bqo {
+namespace {
+
+using ::bqo::testing::MakeStarDb;
+
+class EstimatedCoutTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeStarDb(3, 5000, 200, {0.2, 0.5, -1.0}, 99);
+    auto graph = db_->Graph();
+    ASSERT_TRUE(graph.ok());
+    graph_ = std::make_unique<JoinGraph>(std::move(graph.value()));
+    stats_ = std::make_unique<StatsCatalog>(&db_->catalog);
+  }
+
+  std::unique_ptr<testing::TestDb> db_;
+  std::unique_ptr<JoinGraph> graph_;
+  std::unique_ptr<StatsCatalog> stats_;
+};
+
+TEST_F(EstimatedCoutTest, AttachStatisticsComputesExactBaseCards) {
+  // Relation 0 is the fact (no predicate): filtered == base.
+  EXPECT_DOUBLE_EQ(graph_->relation(0).filtered_rows, 5000.0);
+  // d0 has selectivity 0.2 over attr0 uniform [0,1000).
+  EXPECT_NEAR(graph_->relation(1).filtered_rows, 0.2 * 200, 25);
+  // d2 has no predicate.
+  EXPECT_DOUBLE_EQ(graph_->relation(3).filtered_rows, 200.0);
+}
+
+TEST_F(EstimatedCoutTest, EstimateTracksExactWithinFactor) {
+  EstimatedCoutModel est(stats_.get());
+  ExactCoutModel exact;
+  for (const auto& order :
+       {std::vector<int>{0, 1, 2, 3}, std::vector<int>{1, 0, 2, 3},
+        std::vector<int>{3, 0, 1, 2}}) {
+    Plan plan = BuildRightDeepPlan(*graph_, order);
+    PushDownBitvectors(&plan);
+    const double e = est.Cout(plan);
+    const double x = exact.Cout(plan);
+    EXPECT_GT(e, 0.3 * x);
+    EXPECT_LT(e, 3.0 * x);
+  }
+}
+
+TEST_F(EstimatedCoutTest, NoDoubleCountingOfFilterAndJoin) {
+  // With the fact right-most all dimension filters hit the fact scan; the
+  // subsequent PKFK joins must keep cardinality flat, not shrink it again.
+  Plan plan = BuildRightDeepPlan(*graph_, {0, 1, 2, 3});
+  PushDownBitvectors(&plan);
+  EstimatedCoutModel est(stats_.get());
+  const CoutBreakdown b = est.Compute(plan);
+  double fact_leaf = -1;
+  std::vector<double> joins;
+  for (const PlanNode* n : plan.nodes) {
+    if (n->IsLeaf() && n->relation == 0) {
+      fact_leaf = b.node_output[static_cast<size_t>(n->id)];
+    } else if (n->kind == PlanNode::Kind::kJoin) {
+      joins.push_back(b.node_output[static_cast<size_t>(n->id)]);
+    }
+  }
+  ASSERT_GT(fact_leaf, 0);
+  for (double j : joins) {
+    EXPECT_NEAR(j, fact_leaf, 0.15 * fact_leaf);
+  }
+}
+
+TEST_F(EstimatedCoutTest, FilterLambdaTracksDimensionSelectivity) {
+  Plan plan = BuildRightDeepPlan(*graph_, {0, 1, 2, 3});
+  PushDownBitvectors(&plan);
+  EstimatedCoutModel est(stats_.get());
+  const CoutBreakdown b = est.Compute(plan);
+  // The filter built from d0 (selectivity 0.2) should eliminate ~80% of the
+  // fact rows it sees; the unfiltered d2's filter eliminates ~0.
+  double best_lambda = 0, worst_lambda = 1;
+  for (const PlanFilter& f : plan.filters) {
+    const double l = b.filter_lambda[static_cast<size_t>(f.id)];
+    best_lambda = std::max(best_lambda, l);
+    worst_lambda = std::min(worst_lambda, l);
+  }
+  EXPECT_GT(best_lambda, 0.6);
+  EXPECT_LT(worst_lambda, 0.1);
+}
+
+TEST_F(EstimatedCoutTest, FalsePositiveRateRaisesEstimates) {
+  Plan plan = BuildRightDeepPlan(*graph_, {0, 1, 2, 3});
+  PushDownBitvectors(&plan);
+  EstimatedCoutModel perfect(stats_.get(), 0.0);
+  EstimatedCoutModel leaky(stats_.get(), 0.1);
+  EXPECT_GT(leaky.Cout(plan), perfect.Cout(plan));
+}
+
+TEST_F(EstimatedCoutTest, PrunedFiltersAreIgnored) {
+  Plan plan = BuildRightDeepPlan(*graph_, {0, 1, 2, 3});
+  PushDownBitvectors(&plan);
+  EstimatedCoutModel est(stats_.get());
+  const double with_all = est.Cout(plan);
+  for (PlanFilter& f : plan.filters) f.pruned = true;
+  const double with_none = est.Cout(plan);
+  EXPECT_GT(with_none, with_all);
+  // Pruned-everything must equal the unannotated plan's cost.
+  Plan bare = BuildRightDeepPlan(*graph_, {0, 1, 2, 3});
+  ClearBitvectors(&bare);
+  EXPECT_DOUBLE_EQ(with_none, est.Cout(bare));
+}
+
+}  // namespace
+}  // namespace bqo

@@ -1,0 +1,112 @@
+// Unit tests for src/expr: every predicate kind plus boolean combinators.
+#include <gtest/gtest.h>
+
+#include "src/expr/expr.h"
+
+namespace bqo {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = std::make_unique<Table>(
+        "t", std::vector<FieldDef>{{"x", DataType::kInt64},
+                                   {"s", DataType::kString},
+                                   {"d", DataType::kDouble}});
+    const char* strs[] = {"orange", "gear", "title", "gem", "apple"};
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(table_
+                      ->AppendRow({Value(int64_t{i * 10}),
+                                   Value(std::string(strs[i])),
+                                   Value(static_cast<double>(i) + 0.5)})
+                      .ok());
+    }
+  }
+
+  std::vector<uint32_t> Rows(const ExprPtr& e) {
+    return EvaluatePredicate(*table_, e);
+  }
+
+  std::unique_ptr<Table> table_;
+};
+
+TEST_F(ExprTest, NullAndTrueSelectAll) {
+  EXPECT_EQ(Rows(nullptr).size(), 5u);
+  EXPECT_EQ(Rows(TruePred()).size(), 5u);
+}
+
+TEST_F(ExprTest, Comparisons) {
+  EXPECT_EQ(Rows(Eq("x", 20)), (std::vector<uint32_t>{2}));
+  EXPECT_EQ(Rows(Lt("x", 20)), (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(Rows(Le("x", 20)), (std::vector<uint32_t>{0, 1, 2}));
+  EXPECT_EQ(Rows(Gt("x", 20)), (std::vector<uint32_t>{3, 4}));
+  EXPECT_EQ(Rows(Ge("x", 20)), (std::vector<uint32_t>{2, 3, 4}));
+  EXPECT_EQ(Rows(Compare("x", CompareOp::kNe, Value(int64_t{20}))).size(),
+            4u);
+}
+
+TEST_F(ExprTest, Doublecompare) {
+  EXPECT_EQ(Rows(Compare("d", CompareOp::kLt, Value(2.0))),
+            (std::vector<uint32_t>{0, 1}));
+}
+
+TEST_F(ExprTest, StringEquality) {
+  EXPECT_EQ(Rows(EqString("s", "gear")), (std::vector<uint32_t>{1}));
+  EXPECT_TRUE(Rows(EqString("s", "absent")).empty());
+}
+
+TEST_F(ExprTest, BetweenInclusive) {
+  EXPECT_EQ(Rows(Between("x", 10, 30)), (std::vector<uint32_t>{1, 2, 3}));
+}
+
+TEST_F(ExprTest, InList) {
+  EXPECT_EQ(Rows(In("x", {0, 40, 999})), (std::vector<uint32_t>{0, 4}));
+  EXPECT_TRUE(Rows(In("x", {})).empty());
+}
+
+TEST_F(ExprTest, LikeContains) {
+  // "ge" appears in gear and gem; not orange? orange has "ge"? o-r-a-n-g-e:
+  // no "ge" substring ("ng" then "e"? "nge" contains "ge"!). orange = o r a
+  // n g e -> "ge" at positions 4-5. So orange, gear, gem match.
+  EXPECT_EQ(Rows(LikeContains("s", "ge")), (std::vector<uint32_t>{0, 1, 3}));
+  EXPECT_EQ(Rows(LikeContains("s", "title")), (std::vector<uint32_t>{2}));
+}
+
+TEST_F(ExprTest, ModLess) {
+  // x in {0,10,20,30,40}; x % 3: 0,1,2,0,1 -> < 1 selects {0, 30}.
+  EXPECT_EQ(Rows(ModLess("x", 3, 1)), (std::vector<uint32_t>{0, 3}));
+}
+
+TEST_F(ExprTest, BooleanCombinators) {
+  EXPECT_EQ(Rows(And({Ge("x", 10), Lt("x", 40)})),
+            (std::vector<uint32_t>{1, 2, 3}));
+  EXPECT_EQ(Rows(Or({Eq("x", 0), Eq("x", 40)})),
+            (std::vector<uint32_t>{0, 4}));
+  EXPECT_EQ(Rows(Not(Lt("x", 30))), (std::vector<uint32_t>{3, 4}));
+  EXPECT_EQ(Rows(And({Or({Eq("x", 0), Eq("x", 10)}), Not(Eq("x", 0))})),
+            (std::vector<uint32_t>{1}));
+}
+
+TEST_F(ExprTest, BitmapAgreesWithPredicate) {
+  const auto expr = And({Ge("x", 10), LikeContains("s", "ge")});
+  const auto bitmap = EvaluateBitmap(*table_, expr);
+  const auto rows = EvaluatePredicate(*table_, expr);
+  size_t count = 0;
+  for (size_t i = 0; i < bitmap.size(); ++i) {
+    if (bitmap[i]) {
+      ASSERT_LT(count, rows.size());
+      EXPECT_EQ(rows[count++], i);
+    }
+  }
+  EXPECT_EQ(count, rows.size());
+}
+
+TEST_F(ExprTest, ToStringIsReadable) {
+  EXPECT_EQ(Eq("x", 5)->ToString(), "x = 5");
+  EXPECT_EQ(Between("x", 1, 2)->ToString(), "x BETWEEN 1 AND 2");
+  EXPECT_EQ(LikeContains("s", "ge")->ToString(), "s LIKE '%ge%'");
+  EXPECT_EQ(Not(Eq("x", 1))->ToString(), "NOT (x = 1)");
+}
+
+}  // namespace
+}  // namespace bqo

@@ -1,0 +1,191 @@
+// Unit + property tests for the bitvector filter implementations.
+//
+// The load-bearing invariant for the whole system is *zero false negatives*:
+// a filter that drops a qualifying tuple changes query results. False
+// positives only cost performance; Bloom/cuckoo rates are bounded below.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "src/common/rng.h"
+#include "src/filter/bitvector_filter.h"
+#include "src/filter/bloom_filter.h"
+#include "src/filter/cuckoo_filter.h"
+#include "src/filter/exact_filter.h"
+
+namespace bqo {
+namespace {
+
+TEST(ExactFilter, NoFalsePositivesOrNegatives) {
+  Rng rng(42);
+  ExactFilter filter(1000);
+  std::unordered_set<uint64_t> inserted;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t h = rng.Next();
+    filter.Insert(h);
+    inserted.insert(h);
+  }
+  for (uint64_t h : inserted) EXPECT_TRUE(filter.MayContain(h));
+  int fp = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t h = rng.Next();
+    if (inserted.count(h) == 0 && filter.MayContain(h)) ++fp;
+  }
+  EXPECT_EQ(fp, 0);
+}
+
+TEST(ExactFilter, HandlesZeroHash) {
+  ExactFilter filter(4);
+  EXPECT_FALSE(filter.MayContain(0));
+  filter.Insert(0);
+  EXPECT_TRUE(filter.MayContain(0));
+  EXPECT_EQ(filter.NumInserted(), 1);
+}
+
+TEST(ExactFilter, GrowsPastInitialCapacity) {
+  ExactFilter filter(4);  // will need to grow
+  Rng rng(7);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 5000; ++i) keys.push_back(rng.Next());
+  for (uint64_t k : keys) filter.Insert(k);
+  for (uint64_t k : keys) EXPECT_TRUE(filter.MayContain(k));
+}
+
+TEST(ExactFilter, DuplicateInsertIdempotent) {
+  ExactFilter filter(8);
+  filter.Insert(123);
+  filter.Insert(123);
+  EXPECT_TRUE(filter.MayContain(123));
+  EXPECT_EQ(filter.NumInserted(), 2);
+}
+
+// ---- Parameterized no-false-negative sweep over all filter kinds/sizes ----
+
+struct FilterCase {
+  FilterKind kind;
+  int64_t n;
+};
+
+class FilterPropertyTest : public ::testing::TestWithParam<FilterCase> {};
+
+TEST_P(FilterPropertyTest, NoFalseNegatives) {
+  const FilterCase param = GetParam();
+  FilterConfig config;
+  config.kind = param.kind;
+  auto filter = CreateFilter(config, param.n);
+  Rng rng(static_cast<uint64_t>(param.n) * 31 + static_cast<int>(param.kind));
+  std::vector<uint64_t> keys;
+  keys.reserve(static_cast<size_t>(param.n));
+  for (int64_t i = 0; i < param.n; ++i) keys.push_back(rng.Next());
+  for (uint64_t k : keys) filter->Insert(k);
+  for (uint64_t k : keys) {
+    ASSERT_TRUE(filter->MayContain(k)) << FilterKindName(param.kind);
+  }
+  EXPECT_EQ(filter->NumInserted(), param.n);
+  EXPECT_GT(filter->SizeBytes(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAndSizes, FilterPropertyTest,
+    ::testing::Values(FilterCase{FilterKind::kExact, 10},
+                      FilterCase{FilterKind::kExact, 10000},
+                      FilterCase{FilterKind::kBloom, 10},
+                      FilterCase{FilterKind::kBloom, 1000},
+                      FilterCase{FilterKind::kBloom, 100000},
+                      FilterCase{FilterKind::kCuckoo, 10},
+                      FilterCase{FilterKind::kCuckoo, 1000},
+                      FilterCase{FilterKind::kCuckoo, 100000}),
+    [](const ::testing::TestParamInfo<FilterCase>& info) {
+      return std::string(FilterKindName(info.param.kind)) + "_" +
+             std::to_string(info.param.n);
+    });
+
+TEST(BloomFilter, FpRateWithinTwiceTheory) {
+  const int64_t n = 50000;
+  BloomFilter filter(n, 10.0);
+  Rng rng(9);
+  std::unordered_set<uint64_t> inserted;
+  for (int64_t i = 0; i < n; ++i) {
+    const uint64_t h = rng.Next();
+    filter.Insert(h);
+    inserted.insert(h);
+  }
+  int fp = 0;
+  const int probes = 200000;
+  for (int i = 0; i < probes; ++i) {
+    const uint64_t h = rng.Next();
+    if (inserted.count(h) == 0 && filter.MayContain(h)) ++fp;
+  }
+  const double observed = static_cast<double>(fp) / probes;
+  // Blocked Bloom pays a modest FP penalty vs the unblocked formula; the
+  // theory value at 10 bits/key is ~0.9%, so stay under 2x + slack.
+  EXPECT_LT(observed, 2.0 * filter.TheoreticalFpRate() + 0.005);
+  // And it should actually filter: well under 5%.
+  EXPECT_LT(observed, 0.05);
+}
+
+TEST(BloomFilter, MoreBitsFewerFalsePositives) {
+  const int64_t n = 20000;
+  Rng rng(11);
+  std::vector<uint64_t> keys, probes;
+  for (int64_t i = 0; i < n; ++i) keys.push_back(rng.Next());
+  for (int i = 0; i < 100000; ++i) probes.push_back(rng.Next());
+  double rates[2];
+  const double bits[2] = {4.0, 12.0};
+  for (int b = 0; b < 2; ++b) {
+    BloomFilter filter(n, bits[b]);
+    for (uint64_t k : keys) filter.Insert(k);
+    int fp = 0;
+    for (uint64_t p : probes) {
+      if (filter.MayContain(p)) ++fp;
+    }
+    rates[b] = static_cast<double>(fp) / static_cast<double>(probes.size());
+  }
+  EXPECT_GT(rates[0], rates[1] * 3);
+}
+
+TEST(CuckooFilter, LowFpRateAt12Bits) {
+  const int64_t n = 50000;
+  CuckooFilter filter(n, 12);
+  Rng rng(13);
+  std::unordered_set<uint64_t> inserted;
+  for (int64_t i = 0; i < n; ++i) {
+    const uint64_t h = rng.Next();
+    filter.Insert(h);
+    inserted.insert(h);
+  }
+  EXPECT_FALSE(filter.overflowed());
+  int fp = 0;
+  const int probes = 200000;
+  for (int i = 0; i < probes; ++i) {
+    const uint64_t h = rng.Next();
+    if (inserted.count(h) == 0 && filter.MayContain(h)) ++fp;
+  }
+  EXPECT_LT(static_cast<double>(fp) / probes, 0.01);
+}
+
+TEST(CuckooFilter, OverflowDegradesSafely) {
+  // Grossly undersized-by-construction: force overflow via tiny capacity
+  // and many inserts; every inserted key must still pass.
+  CuckooFilter filter(16, 8);
+  Rng rng(17);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 5000; ++i) keys.push_back(rng.Next());
+  for (uint64_t k : keys) filter.Insert(k);
+  for (uint64_t k : keys) EXPECT_TRUE(filter.MayContain(k));
+}
+
+TEST(FilterFactory, CreatesRequestedKinds) {
+  FilterConfig config;
+  for (FilterKind kind :
+       {FilterKind::kExact, FilterKind::kBloom, FilterKind::kCuckoo}) {
+    config.kind = kind;
+    auto f = CreateFilter(config, 100);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->kind(), kind);
+    EXPECT_EQ(f->exact(), kind == FilterKind::kExact);
+  }
+}
+
+}  // namespace
+}  // namespace bqo

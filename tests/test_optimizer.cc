@@ -1,0 +1,379 @@
+// Tests for the optimizer stack: DP baseline, snowflake extraction,
+// Algorithms 2 & 3 (BQO), cost-based filter pruning, integration modes.
+#include <gtest/gtest.h>
+
+#include "src/exec/exact_cout.h"
+#include "src/exec/executor.h"
+#include "src/optimizer/bqo.h"
+#include "src/optimizer/cost_model.h"
+#include "src/optimizer/dp_optimizer.h"
+#include "src/optimizer/optimizer.h"
+#include "src/plan/enumerate.h"
+#include "src/plan/pushdown.h"
+#include "src/stats/estimated_cout.h"
+#include "test_util.h"
+
+namespace bqo {
+namespace {
+
+using ::bqo::testing::MakeChainDb;
+using ::bqo::testing::MakeSnowflakeDb;
+using ::bqo::testing::MakeStarDb;
+
+// ---------- DP baseline ----------
+
+TEST(DpBaseline, MatchesExhaustiveBlindMinimum) {
+  auto db = MakeStarDb(4, 2000, 80, {0.3, 0.1, 0.8, 0.5}, 7);
+  auto graph_result = db->Graph();
+  ASSERT_TRUE(graph_result.ok());
+  const JoinGraph& graph = graph_result.value();
+  StatsCatalog stats(&db->catalog);
+  EstimatedCoutModel model(&stats);
+
+  Plan dp_plan = OptimizeDpBaseline(graph, &model);
+  ASSERT_TRUE(dp_plan.Validate());
+  ClearBitvectors(&dp_plan);
+  const double dp_cost = model.Cout(dp_plan);
+
+  // Exhaustive filter-blind minimum over right deep trees.
+  double best = -1;
+  for (const auto& order : EnumerateRightDeepOrders(graph)) {
+    Plan plan = BuildRightDeepPlan(graph, order);
+    ClearBitvectors(&plan);
+    const double c = model.Cout(plan);
+    if (best < 0 || c < best) best = c;
+  }
+  EXPECT_NEAR(dp_cost, best, best * 0.01);
+}
+
+TEST(DpBaseline, GreedyHandlesWideQueries) {
+  auto db = MakeStarDb(18, 3000, 30, {0.5, 0.5, 0.5}, 3);
+  auto graph_result = db->Graph();
+  ASSERT_TRUE(graph_result.ok());
+  const JoinGraph& graph = graph_result.value();
+  StatsCatalog stats(&db->catalog);
+  EstimatedCoutModel model(&stats);
+  DpOptions options;
+  options.max_dp_relations = 10;  // force greedy path
+  Plan plan = OptimizeDpBaseline(graph, &model, options);
+  EXPECT_TRUE(plan.Validate());
+  EXPECT_TRUE(plan.IsRightDeep());
+  EXPECT_EQ(RelSetCount(plan.root->rel_set), 19);
+}
+
+TEST(DpBaseline, BushyModeProducesValidPlanAtMostRightDeepCost) {
+  auto db = MakeChainDb(5, 3000, 0.5, {-1, -1, -1, -1, 0.1}, 17);
+  auto graph_result = db->Graph();
+  ASSERT_TRUE(graph_result.ok());
+  const JoinGraph& graph = graph_result.value();
+  StatsCatalog stats(&db->catalog);
+  EstimatedCoutModel model(&stats);
+  DpOptions bushy;
+  bushy.bushy = true;
+  Plan bushy_plan = OptimizeDpBaseline(graph, &model, bushy);
+  ASSERT_TRUE(bushy_plan.Validate());
+  Plan rd_plan = OptimizeDpBaseline(graph, &model);
+  ClearBitvectors(&bushy_plan);
+  ClearBitvectors(&rd_plan);
+  EXPECT_LE(model.Cout(bushy_plan), model.Cout(rd_plan) * 1.01);
+}
+
+// ---------- Snowflake detection ----------
+
+TEST(Snowflake, FactDetectionOnStar) {
+  auto db = MakeStarDb(3, 1000, 50, {0.5}, 5);
+  auto graph_result = db->Graph();
+  ASSERT_TRUE(graph_result.ok());
+  const JoinGraph& graph = graph_result.value();
+  auto units = MakeLeafUnits(graph);
+  std::vector<int> active = {0, 1, 2, 3};
+  const auto facts = FindFactUnits(graph, units, active);
+  ASSERT_EQ(facts.size(), 1u);
+  EXPECT_EQ(facts[0], 0);  // relation 0 is the fact
+  const auto members = ExpandSnowflake(graph, units, active, 0);
+  EXPECT_EQ(members.size(), 4u);
+}
+
+TEST(Snowflake, TwoFactsDetected) {
+  // Galaxy: two facts sharing one dimension.
+  testing::TestDb db;
+  Rng rng(9);
+  TableGenSpec dim;
+  dim.name = "d";
+  dim.rows = 100;
+  dim.with_label = false;
+  GenerateTable(&db.catalog, dim, &rng);
+  for (const char* name : {"f1", "f2"}) {
+    TableGenSpec f;
+    f.name = name;
+    f.rows = 2000;
+    f.with_pk = false;
+    f.with_label = false;
+    f.fks.push_back(FkSpec{"d_fk", "d", "d_id", 0.0, 0.0});
+    GenerateTable(&db.catalog, f, &rng);
+  }
+  db.spec.relations = {
+      {"f1", "f1", nullptr}, {"f2", "f2", nullptr}, {"d", "d", nullptr}};
+  db.spec.joins = {{"f1", "d_fk", "d", "d_id"}, {"f2", "d_fk", "d", "d_id"}};
+  auto graph_result = db.Graph();
+  ASSERT_TRUE(graph_result.ok());
+  const JoinGraph& graph = graph_result.value();
+  auto units = MakeLeafUnits(graph);
+  const auto facts = FindFactUnits(graph, units, {0, 1, 2});
+  EXPECT_EQ(facts.size(), 2u);  // f1 and f2; d is referenced -> dimension
+}
+
+TEST(Snowflake, GroupBranchesMergesConnectedBranches) {
+  // Star with 3 dims where d0 and d1 also join each other.
+  auto db = MakeStarDb(3, 1000, 50, {}, 5);
+  db->spec.joins.push_back({"d0", "attr1", "d1", "attr1"});
+  auto graph_result = db->Graph();
+  ASSERT_TRUE(graph_result.ok());
+  const JoinGraph& graph = graph_result.value();
+  auto units = MakeLeafUnits(graph);
+  const auto groups = GroupBranches(graph, units, {0, 1, 2, 3}, 0);
+  ASSERT_EQ(groups.size(), 2u);
+  // One group of {d0, d1} (connected), one of {d2}.
+  const auto& big = groups[0].size() == 2 ? groups[0] : groups[1];
+  const auto& small = groups[0].size() == 2 ? groups[1] : groups[0];
+  EXPECT_EQ(big, (std::vector<int>{1, 2}));
+  EXPECT_EQ(small, (std::vector<int>{3}));
+}
+
+// ---------- Algorithm 2 / Algorithm 3 ----------
+
+class BqoVsBaselineTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BqoVsBaselineTest, BqoNeverWorseThanBaselineOnSnowflakes) {
+  const uint64_t seed = GetParam();
+  auto db = MakeSnowflakeDb({2, 1, 2}, 4000, 80, 0.5,
+                            {0.1, 0.5, 0.25}, seed, 0.4);
+  auto graph_result = db->Graph();
+  ASSERT_TRUE(graph_result.ok());
+  const JoinGraph& graph = graph_result.value();
+  StatsCatalog stats(&db->catalog);
+
+  OptimizerOptions base_opts, bqo_opts;
+  base_opts.mode = OptimizerMode::kBaselinePostProcess;
+  base_opts.lambda_thresh = -1;  // isolate join-order effects
+  bqo_opts.mode = OptimizerMode::kBqoShallow;
+  bqo_opts.lambda_thresh = -1;
+
+  OptimizedQuery baseline = OptimizeQuery(graph, &stats, base_opts);
+  OptimizedQuery bqo = OptimizeQuery(graph, &stats, bqo_opts);
+  ASSERT_TRUE(baseline.plan.Validate());
+  ASSERT_TRUE(bqo.plan.Validate());
+
+  // Judge by TRUE cost (exact model), not the estimates they planned with.
+  ExactCoutModel exact;
+  const double baseline_cost = exact.Cout(baseline.plan);
+  const double bqo_cost = exact.Cout(bqo.plan);
+  EXPECT_LE(bqo_cost, baseline_cost * 1.05) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BqoVsBaselineTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Bqo, StarPlanDrawnFromTheoremCandidates) {
+  auto db = MakeStarDb(4, 3000, 100, {0.15, 0.6, 0.35, 0.8}, 23);
+  auto graph_result = db->Graph();
+  ASSERT_TRUE(graph_result.ok());
+  const JoinGraph& graph = graph_result.value();
+  StatsCatalog stats(&db->catalog);
+  EstimatedCoutModel model(&stats);
+  Plan plan = OptimizeBqo(graph, &model);
+  ASSERT_TRUE(plan.Validate());
+  ASSERT_TRUE(plan.IsRightDeep());
+  const std::vector<int> order = plan.RightDeepOrder();
+  // Theorem 4.1 candidates: fact first, or a dimension then the fact.
+  if (order[0] == 0) {
+    SUCCEED();
+  } else {
+    EXPECT_EQ(order[1], 0);
+  }
+}
+
+TEST(Bqo, MultiFactQueryCoversAllRelations) {
+  // Two facts sharing a dimension plus private dimensions.
+  testing::TestDb db;
+  Rng rng(31);
+  for (const char* dname : {"shared", "pd1", "pd2"}) {
+    TableGenSpec d;
+    d.name = dname;
+    d.rows = 150;
+    d.with_label = false;
+    GenerateTable(&db.catalog, d, &rng);
+  }
+  {
+    TableGenSpec f;
+    f.name = "f1";
+    f.rows = 5000;
+    f.with_pk = false;
+    f.with_label = false;
+    f.fks.push_back(FkSpec{"shared_fk", "shared", "shared_id", 0.0, 0.0});
+    f.fks.push_back(FkSpec{"pd1_fk", "pd1", "pd1_id", 0.0, 0.0});
+    GenerateTable(&db.catalog, f, &rng);
+  }
+  {
+    TableGenSpec f;
+    f.name = "f2";
+    f.rows = 4000;
+    f.with_pk = false;
+    f.with_label = false;
+    f.fks.push_back(FkSpec{"shared_fk", "shared", "shared_id", 0.0, 0.0});
+    f.fks.push_back(FkSpec{"pd2_fk", "pd2", "pd2_id", 0.0, 0.0});
+    GenerateTable(&db.catalog, f, &rng);
+  }
+  db.spec.relations = {{"f1", "f1", nullptr},
+                       {"f2", "f2", nullptr},
+                       {"shared", "shared", testing::SelPredicate(0.2)},
+                       {"pd1", "pd1", testing::SelPredicate(0.5)},
+                       {"pd2", "pd2", nullptr}};
+  db.spec.joins = {{"f1", "shared_fk", "shared", "shared_id"},
+                   {"f2", "shared_fk", "shared", "shared_id"},
+                   {"f1", "pd1_fk", "pd1", "pd1_id"},
+                   {"f2", "pd2_fk", "pd2", "pd2_id"}};
+  auto graph_result = db.Graph();
+  ASSERT_TRUE(graph_result.ok());
+  const JoinGraph& graph = graph_result.value();
+  StatsCatalog stats(&db.catalog);
+  EstimatedCoutModel model(&stats);
+  Plan plan = OptimizeBqo(graph, &model);
+  ASSERT_TRUE(plan.Validate());
+  EXPECT_EQ(plan.root->rel_set, graph.AllRels());
+
+  // Executing the optimized plan must agree with the baseline plan.
+  PushDownBitvectors(&plan);
+  Plan baseline = OptimizeDpBaseline(graph, &model);
+  PushDownBitvectors(&baseline);
+  const QueryMetrics m1 = ExecutePlan(plan);
+  const QueryMetrics m2 = ExecutePlan(baseline);
+  EXPECT_EQ(m1.result_checksum, m2.result_checksum);
+}
+
+// ---------- Cost-based filter pruning (Section 6.3) ----------
+
+TEST(CostBasedFilters, UnselectiveFiltersArePruned) {
+  // d1 keeps everything (no predicate) -> its filter eliminates ~0% and
+  // must be pruned; d0 at 10% must survive.
+  auto db = MakeStarDb(2, 3000, 100, {0.1, -1.0}, 13);
+  auto graph_result = db->Graph();
+  ASSERT_TRUE(graph_result.ok());
+  const JoinGraph& graph = graph_result.value();
+  StatsCatalog stats(&db->catalog);
+  EstimatedCoutModel model(&stats);
+  Plan plan = BuildRightDeepPlan(graph, {0, 1, 2});
+  PushDownBitvectors(&plan);
+  const int pruned = PruneIneffectiveFilters(&plan, &model, 0.05);
+  EXPECT_EQ(pruned, 1);
+  int kept = 0;
+  for (const PlanFilter& f : plan.filters) {
+    if (!f.pruned) {
+      ++kept;
+      EXPECT_GT(f.estimated_lambda, 0.5);
+    }
+  }
+  EXPECT_EQ(kept, 1);
+}
+
+TEST(CostBasedFilters, ExecutorHonorsPruning) {
+  auto db = MakeStarDb(2, 3000, 100, {0.1, -1.0}, 13);
+  auto graph_result = db->Graph();
+  ASSERT_TRUE(graph_result.ok());
+  const JoinGraph& graph = graph_result.value();
+  StatsCatalog stats(&db->catalog);
+  EstimatedCoutModel model(&stats);
+  Plan plan = BuildRightDeepPlan(graph, {0, 1, 2});
+  PushDownBitvectors(&plan);
+  PruneIneffectiveFilters(&plan, &model, 0.05);
+  const QueryMetrics m = ExecutePlan(plan);
+  int created = 0;
+  for (const auto& fs : m.filters) {
+    if (fs.created) ++created;
+  }
+  EXPECT_EQ(created, 1);
+}
+
+TEST(CostBasedFilters, ThresholdFormula) {
+  EXPECT_DOUBLE_EQ(LambdaThreshold(1.0, 10.0), 0.9);
+  EXPECT_DOUBLE_EQ(LambdaThreshold(10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(LambdaThreshold(20.0, 10.0), 0.0);  // clamped
+}
+
+// ---------- Integration modes (Section 6.4) ----------
+
+TEST(IntegrationModes, AlternativePlanTakesTheCheaper) {
+  auto db = MakeSnowflakeDb({2, 2}, 3000, 80, 0.5, {0.1, 0.4}, 41);
+  auto graph_result = db->Graph();
+  ASSERT_TRUE(graph_result.ok());
+  const JoinGraph& graph = graph_result.value();
+  StatsCatalog stats(&db->catalog);
+  OptimizerOptions options;
+  options.lambda_thresh = -1;
+  double costs[3];
+  const OptimizerMode modes[3] = {OptimizerMode::kBaselinePostProcess,
+                                  OptimizerMode::kBqoShallow,
+                                  OptimizerMode::kAlternativePlan};
+  for (int i = 0; i < 3; ++i) {
+    options.mode = modes[i];
+    costs[i] = OptimizeQuery(graph, &stats, options).estimated_cost;
+  }
+  EXPECT_LE(costs[2], costs[0] * 1.0001);
+  EXPECT_LE(costs[2], costs[1] * 1.0001);
+}
+
+TEST(IntegrationModes, ExhaustiveAtMostBqoCost) {
+  auto db = MakeStarDb(4, 2500, 60, {0.2, 0.7, 0.4, 0.9}, 53);
+  auto graph_result = db->Graph();
+  ASSERT_TRUE(graph_result.ok());
+  const JoinGraph& graph = graph_result.value();
+  StatsCatalog stats(&db->catalog);
+  OptimizerOptions options;
+  options.lambda_thresh = -1;
+  options.mode = OptimizerMode::kExhaustive;
+  const double exhaustive = OptimizeQuery(graph, &stats, options).estimated_cost;
+  options.mode = OptimizerMode::kBqoShallow;
+  const double bqo = OptimizeQuery(graph, &stats, options).estimated_cost;
+  EXPECT_LE(exhaustive, bqo * 1.0001);
+}
+
+TEST(IntegrationModes, NoBitvectorModeStripsFilters) {
+  auto db = MakeStarDb(3, 1000, 50, {0.5}, 5);
+  auto graph_result = db->Graph();
+  ASSERT_TRUE(graph_result.ok());
+  StatsCatalog stats(&db->catalog);
+  OptimizerOptions options;
+  options.mode = OptimizerMode::kNoBitvectors;
+  OptimizedQuery q = OptimizeQuery(graph_result.value(), &stats, options);
+  EXPECT_TRUE(q.plan.filters.empty());
+}
+
+TEST(IntegrationModes, OptimizedPlansAllComputeTheSameResult) {
+  auto db = MakeSnowflakeDb({2, 1}, 2500, 70, 0.5, {0.2, 0.6}, 61, 0.5);
+  auto graph_result = db->Graph();
+  ASSERT_TRUE(graph_result.ok());
+  const JoinGraph& graph = graph_result.value();
+  StatsCatalog stats(&db->catalog);
+  OptimizerOptions options;
+  uint64_t checksum = 0;
+  bool first = true;
+  for (OptimizerMode mode :
+       {OptimizerMode::kBaselinePostProcess, OptimizerMode::kNoBitvectors,
+        OptimizerMode::kBqoShallow, OptimizerMode::kAlternativePlan,
+        OptimizerMode::kExhaustive}) {
+    options.mode = mode;
+    OptimizedQuery q = OptimizeQuery(graph, &stats, options);
+    ExecutionOptions exec;
+    exec.use_bitvectors = mode != OptimizerMode::kNoBitvectors;
+    const QueryMetrics m = ExecutePlan(q.plan, exec);
+    if (first) {
+      checksum = m.result_checksum;
+      first = false;
+    } else {
+      EXPECT_EQ(m.result_checksum, checksum) << OptimizerModeName(mode);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bqo

@@ -1,0 +1,201 @@
+// Unit tests for src/plan: join graphs, plan trees, enumeration.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/plan/enumerate.h"
+#include "src/plan/plan.h"
+#include "test_util.h"
+
+namespace bqo {
+namespace {
+
+using ::bqo::testing::MakeChainDb;
+using ::bqo::testing::MakeStarDb;
+
+JoinGraph StarGraph(int dims) {
+  // Analytical graph (no tables needed): fact 0 joined to each dimension.
+  JoinGraph g;
+  g.AddRelation("f", "f", nullptr, nullptr);
+  for (int i = 1; i <= dims; ++i) {
+    g.AddRelation("d" + std::to_string(i), "d", nullptr, nullptr);
+    JoinEdge e;
+    e.left = 0;
+    e.right = i;
+    e.left_cols = {"fk" + std::to_string(i)};
+    e.right_cols = {"id"};
+    e.right_unique = true;
+    g.AddEdge(e);
+  }
+  return g;
+}
+
+JoinGraph ChainGraph(int n) {
+  // R0 - R1 - ... - R{n-1}.
+  JoinGraph g;
+  for (int i = 0; i < n; ++i) {
+    g.AddRelation("r" + std::to_string(i), "r", nullptr, nullptr);
+  }
+  for (int i = 1; i < n; ++i) {
+    JoinEdge e;
+    e.left = i - 1;
+    e.right = i;
+    e.left_cols = {"fk"};
+    e.right_cols = {"id"};
+    e.right_unique = true;
+    g.AddEdge(e);
+  }
+  return g;
+}
+
+TEST(JoinGraph, ConnectivityAndNeighbors) {
+  JoinGraph g = ChainGraph(4);
+  EXPECT_TRUE(g.IsConnected(0b1111));
+  EXPECT_TRUE(g.IsConnected(0b0110));
+  EXPECT_FALSE(g.IsConnected(0b1001));  // r0 and r3 not adjacent
+  EXPECT_EQ(g.Neighbors(0b0001), RelSet{0b0010});
+  EXPECT_EQ(g.Neighbors(0b0110), RelSet{0b1001});
+}
+
+TEST(JoinGraph, EdgesBetween) {
+  JoinGraph g = StarGraph(3);
+  EXPECT_EQ(g.EdgesBetween(RelBit(0), 2).size(), 1u);
+  EXPECT_TRUE(g.EdgesBetween(RelBit(1), 2).empty());  // dims not adjacent
+  EXPECT_EQ(g.EdgesBetweenSets(0b0001, 0b1110).size(), 3u);
+}
+
+TEST(JoinGraph, DeriveUniquenessFromCatalog) {
+  auto db = MakeStarDb(2, 100, 20, {0.5, 0.5}, 1);
+  auto graph = db->Graph();
+  ASSERT_TRUE(graph.ok());
+  for (const JoinEdge& e : graph.value().edges()) {
+    // fact is relation 0; dimension side must be marked unique.
+    const bool fact_left = e.left == 0;
+    EXPECT_EQ(fact_left ? e.right_unique : e.left_unique, true);
+    EXPECT_EQ(fact_left ? e.left_unique : e.right_unique, false);
+  }
+}
+
+TEST(Plan, BuildRightDeepAndValidate) {
+  JoinGraph g = StarGraph(3);
+  Plan plan = BuildRightDeepPlan(g, {0, 1, 2, 3});
+  EXPECT_TRUE(plan.Validate());
+  EXPECT_TRUE(plan.IsRightDeep());
+  EXPECT_EQ(plan.num_joins(), 3);
+  EXPECT_EQ(plan.RightDeepOrder(), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(plan.Signature(), "(d3 HJ (d2 HJ (d1 HJ f)))");
+}
+
+TEST(Plan, CloneIsDeepAndEqual) {
+  JoinGraph g = ChainGraph(4);
+  Plan plan = BuildRightDeepPlan(g, {3, 2, 1, 0});
+  Plan copy = plan.Clone();
+  EXPECT_EQ(copy.Signature(), plan.Signature());
+  EXPECT_NE(copy.root.get(), plan.root.get());
+  EXPECT_EQ(copy.nodes.size(), plan.nodes.size());
+}
+
+TEST(Plan, ValidOrderCheck) {
+  JoinGraph g = ChainGraph(4);
+  EXPECT_TRUE(IsValidRightDeepOrder(g, {0, 1, 2, 3}));
+  EXPECT_TRUE(IsValidRightDeepOrder(g, {2, 1, 3, 0}));  // prefix stays connected
+  EXPECT_FALSE(IsValidRightDeepOrder(g, {0, 2, 1, 3}));  // r0-r2 not adjacent
+}
+
+TEST(Plan, BushyJoinConstruction) {
+  JoinGraph g = ChainGraph(4);
+  auto left = MakeJoin(g, MakeLeaf(g, 0), MakeLeaf(g, 1));
+  auto right = MakeJoin(g, MakeLeaf(g, 3), MakeLeaf(g, 2));
+  ASSERT_NE(left, nullptr);
+  ASSERT_NE(right, nullptr);
+  auto root = MakeJoin(g, std::move(left), std::move(right));
+  ASSERT_NE(root, nullptr);
+  Plan plan;
+  plan.graph = &g;
+  plan.root = std::move(root);
+  plan.Renumber();
+  EXPECT_TRUE(plan.Validate());
+  EXPECT_FALSE(plan.IsRightDeep());
+}
+
+TEST(Plan, CrossProductRejected) {
+  JoinGraph g = ChainGraph(4);
+  EXPECT_EQ(MakeJoin(g, MakeLeaf(g, 0), MakeLeaf(g, 2)), nullptr);
+}
+
+TEST(Enumerate, StarCountsMatchLemma2) {
+  // Lemma 2: right deep trees without cross products have R0 first or
+  // second; count = 2 * n! for n dimensions... (n! with R0 first, n * (n-1)!
+  // with a dimension first then R0).
+  for (int n = 2; n <= 5; ++n) {
+    JoinGraph g = StarGraph(n);
+    size_t expected = 2;
+    for (int i = 2; i <= n; ++i) expected *= static_cast<size_t>(i);
+    EXPECT_EQ(CountRightDeepOrders(g), expected) << "n=" << n;
+  }
+}
+
+TEST(Enumerate, ChainCountIsQuadraticFamily) {
+  // For a chain of n relations the orders = 2^(n-1) (each step extends the
+  // connected interval left or right from the start).
+  for (int n = 2; n <= 7; ++n) {
+    JoinGraph g = ChainGraph(n);
+    EXPECT_EQ(CountRightDeepOrders(g), size_t{1} << (n - 1)) << "n=" << n;
+  }
+}
+
+TEST(Enumerate, AllOrdersAreValidAndUnique) {
+  JoinGraph g = StarGraph(4);
+  auto orders = EnumerateRightDeepOrders(g);
+  std::set<std::vector<int>> unique(orders.begin(), orders.end());
+  EXPECT_EQ(unique.size(), orders.size());
+  for (const auto& o : orders) {
+    EXPECT_TRUE(IsValidRightDeepOrder(g, o));
+  }
+}
+
+TEST(Enumerate, LimitRespected) {
+  JoinGraph g = StarGraph(5);
+  EXPECT_EQ(EnumerateRightDeepOrders(g, 10).size(), 10u);
+  EXPECT_EQ(CountRightDeepOrders(g, 10), 10u);
+}
+
+TEST(Enumerate, StarCandidatesShape) {
+  JoinGraph g = StarGraph(4);
+  auto candidates = StarCandidateOrders(g, 0);
+  EXPECT_EQ(candidates.size(), 5u);  // n + 1
+  // First candidate: fact right-most.
+  EXPECT_EQ(candidates[0][0], 0);
+  // Others: dimension first, then fact.
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    EXPECT_NE(candidates[i][0], 0);
+    EXPECT_EQ(candidates[i][1], 0);
+    EXPECT_TRUE(IsValidRightDeepOrder(g, candidates[i]));
+  }
+}
+
+TEST(Enumerate, BranchCandidatesShape) {
+  const std::vector<int> chain = {0, 1, 2, 3};
+  auto candidates = BranchCandidateOrders(chain);
+  EXPECT_EQ(candidates.size(), 4u);  // n + 1 with n = 3
+  EXPECT_EQ(candidates[0], (std::vector<int>{3, 2, 1, 0}));
+  EXPECT_EQ(candidates[1], (std::vector<int>{0, 1, 2, 3}));  // k = 0
+  EXPECT_EQ(candidates[2], (std::vector<int>{1, 2, 3, 0}));  // k = 1
+  EXPECT_EQ(candidates[3], (std::vector<int>{2, 3, 1, 0}));  // k = 2
+}
+
+TEST(Enumerate, SnowflakeCandidatesCountIsLinear) {
+  SnowflakeShape shape;
+  shape.fact = 0;
+  shape.branches = {{1}, {2, 3}, {4, 5}};
+  auto candidates = SnowflakeCandidateOrders(shape);
+  EXPECT_EQ(candidates.size(), 6u);  // n + 1 with n = 5 dimensions
+  // Every candidate is a permutation of all 6 relations.
+  for (const auto& c : candidates) {
+    std::set<int> s(c.begin(), c.end());
+    EXPECT_EQ(s.size(), 6u);
+  }
+}
+
+}  // namespace
+}  // namespace bqo

@@ -1,0 +1,269 @@
+// Validation of the paper's analysis (Sections 4 and 5) on random instances:
+//
+//  * Theorem 4.1 / 4.2 — for star queries with PKFK joins, the minimum Cout
+//    over ALL right deep trees without cross products is achieved inside the
+//    n+1 candidate set {T(R0, ...)} ∪ {T(Rk, R0, ...)}.
+//  * Lemma 4 — every order with the fact right-most has identical Cout.
+//  * Lemma 5 — T(Rk, R0, X...) cost is permutation-invariant in X.
+//  * Theorem 5.3 — branch (chain) queries: n+1 candidates suffice.
+//  * Theorem 5.1 — snowflake queries: n+1 candidates suffice.
+//  * Lemma 8 — all partially-ordered right deep trees (fact right-most) of a
+//    snowflake have equal Cout.
+//
+// All statements assume filters with no false positives, so costs come from
+// ExactCoutModel (execution with ExactFilter). Instances are randomized over
+// seeds via parameterized tests.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/exec/exact_cout.h"
+#include "src/plan/enumerate.h"
+#include "src/plan/pushdown.h"
+#include "test_util.h"
+
+namespace bqo {
+namespace {
+
+using ::bqo::testing::MakeChainDb;
+using ::bqo::testing::MakeSnowflakeDb;
+using ::bqo::testing::MakeStarDb;
+
+double PlanCout(const JoinGraph& graph, const std::vector<int>& order) {
+  Plan plan = BuildRightDeepPlan(graph, order);
+  PushDownBitvectors(&plan);
+  ExactCoutModel model;
+  return model.Cout(plan);
+}
+
+struct MinResult {
+  double min_cost = 0;
+  std::vector<int> argmin;
+};
+
+MinResult MinOver(const JoinGraph& graph,
+                  const std::vector<std::vector<int>>& orders) {
+  MinResult result;
+  result.min_cost = -1;
+  for (const auto& order : orders) {
+    const double c = PlanCout(graph, order);
+    if (result.min_cost < 0 || c < result.min_cost) {
+      result.min_cost = c;
+      result.argmin = order;
+    }
+  }
+  return result;
+}
+
+// ---------- Star queries ----------
+
+class StarTheoremTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StarTheoremTest, Theorem41CandidateSetContainsMinimum) {
+  const uint64_t seed = GetParam();
+  // Vary selectivities with the seed for instance diversity.
+  const double s0 = 0.1 + 0.15 * static_cast<double>(seed % 5);
+  auto db = MakeStarDb(4, 1200, 50, {s0, 0.8, 0.3, -1.0}, seed, 0.4);
+  auto graph_result = db->Graph();
+  ASSERT_TRUE(graph_result.ok());
+  const JoinGraph& graph = graph_result.value();
+
+  const auto all_orders = EnumerateRightDeepOrders(graph);
+  ASSERT_EQ(all_orders.size(), 48u);  // 2 * 4!
+  const MinResult global = MinOver(graph, all_orders);
+
+  const auto candidates = StarCandidateOrders(graph, 0);
+  ASSERT_EQ(candidates.size(), 5u);
+  const MinResult candidate_min = MinOver(graph, candidates);
+
+  EXPECT_DOUBLE_EQ(candidate_min.min_cost, global.min_cost)
+      << "seed=" << seed;
+}
+
+TEST_P(StarTheoremTest, Lemma4FactFirstOrdersHaveEqualCost) {
+  const uint64_t seed = GetParam();
+  auto db = MakeStarDb(3, 900, 40, {0.25, 0.7, 0.5}, seed, 0.3);
+  auto graph_result = db->Graph();
+  ASSERT_TRUE(graph_result.ok());
+  const JoinGraph& graph = graph_result.value();
+
+  std::vector<int> dims = {1, 2, 3};
+  double first_cost = -1;
+  do {
+    std::vector<int> order = {0};
+    order.insert(order.end(), dims.begin(), dims.end());
+    const double c = PlanCout(graph, order);
+    if (first_cost < 0) {
+      first_cost = c;
+    } else {
+      EXPECT_DOUBLE_EQ(c, first_cost) << "seed=" << seed;
+    }
+  } while (std::next_permutation(dims.begin(), dims.end()));
+}
+
+TEST_P(StarTheoremTest, Lemma5FactSecondOrdersHaveEqualCost) {
+  const uint64_t seed = GetParam();
+  auto db = MakeStarDb(4, 900, 40, {0.2, 0.6, 0.4, 0.9}, seed);
+  auto graph_result = db->Graph();
+  ASSERT_TRUE(graph_result.ok());
+  const JoinGraph& graph = graph_result.value();
+
+  // T(R2, R0, perm of {R1, R3, R4}).
+  std::vector<int> rest = {1, 3, 4};
+  double first_cost = -1;
+  do {
+    std::vector<int> order = {2, 0};
+    order.insert(order.end(), rest.begin(), rest.end());
+    const double c = PlanCout(graph, order);
+    if (first_cost < 0) {
+      first_cost = c;
+    } else {
+      EXPECT_DOUBLE_EQ(c, first_cost) << "seed=" << seed;
+    }
+  } while (std::next_permutation(rest.begin(), rest.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StarTheoremTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 11, 29));
+
+// ---------- Branch (chain) queries ----------
+
+class BranchTheoremTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BranchTheoremTest, Theorem53CandidateSetContainsMinimum) {
+  const uint64_t seed = GetParam();
+  const double tail_sel = 0.05 + 0.2 * static_cast<double>(seed % 4);
+  auto db = MakeChainDb(5, 2500, 0.35, {-1, -1, 0.9, -1, tail_sel}, seed,
+                        0.3);
+  auto graph_result = db->Graph();
+  ASSERT_TRUE(graph_result.ok());
+  const JoinGraph& graph = graph_result.value();
+
+  const auto all_orders = EnumerateRightDeepOrders(graph);
+  ASSERT_EQ(all_orders.size(), 16u);  // 2^(n-1), n = 5 relations
+  const MinResult global = MinOver(graph, all_orders);
+
+  const auto candidates = BranchCandidateOrders({0, 1, 2, 3, 4});
+  ASSERT_EQ(candidates.size(), 5u);
+  const MinResult candidate_min = MinOver(graph, candidates);
+
+  EXPECT_DOUBLE_EQ(candidate_min.min_cost, global.min_cost)
+      << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BranchTheoremTest,
+                         ::testing::Values(1, 2, 3, 7, 13));
+
+// ---------- Snowflake queries ----------
+
+struct SnowflakeCase {
+  std::vector<int> branch_lengths;
+  uint64_t seed;
+};
+
+class SnowflakeTheoremTest
+    : public ::testing::TestWithParam<SnowflakeCase> {};
+
+TEST_P(SnowflakeTheoremTest, Theorem51CandidateSetContainsMinimum) {
+  const SnowflakeCase param = GetParam();
+  auto db = MakeSnowflakeDb(param.branch_lengths, 1500, 60, 0.6,
+                            {0.15, 0.6, 0.35}, param.seed, 0.3);
+  auto graph_result = db->Graph();
+  ASSERT_TRUE(graph_result.ok());
+  const JoinGraph& graph = graph_result.value();
+
+  const auto all_orders = EnumerateRightDeepOrders(graph);
+  const MinResult global = MinOver(graph, all_orders);
+
+  SnowflakeShape shape;
+  shape.fact = 0;
+  int next = 1;
+  for (int len : param.branch_lengths) {
+    std::vector<int> branch;
+    for (int j = 0; j < len; ++j) branch.push_back(next++);
+    shape.branches.push_back(std::move(branch));
+  }
+  const auto candidates = SnowflakeCandidateOrders(shape);
+  ASSERT_EQ(static_cast<int>(candidates.size()), graph.num_relations());
+  for (const auto& c : candidates) {
+    ASSERT_TRUE(IsValidRightDeepOrder(graph, c));
+  }
+  const MinResult candidate_min = MinOver(graph, candidates);
+
+  EXPECT_DOUBLE_EQ(candidate_min.min_cost, global.min_cost)
+      << "seed=" << param.seed << " plans=" << all_orders.size();
+}
+
+TEST_P(SnowflakeTheoremTest, Lemma8PartiallyOrderedTreesHaveEqualCost) {
+  const SnowflakeCase param = GetParam();
+  auto db = MakeSnowflakeDb(param.branch_lengths, 1200, 50, 0.6,
+                            {0.2, 0.5, 0.4}, param.seed);
+  auto graph_result = db->Graph();
+  ASSERT_TRUE(graph_result.ok());
+  const JoinGraph& graph = graph_result.value();
+
+  // All fact-right-most orders are partially ordered (Lemma 6) and must
+  // share a single Cout value.
+  double first_cost = -1;
+  int checked = 0;
+  for (const auto& order : EnumerateRightDeepOrders(graph)) {
+    if (order[0] != 0) continue;
+    const double c = PlanCout(graph, order);
+    if (first_cost < 0) {
+      first_cost = c;
+    } else {
+      ASSERT_DOUBLE_EQ(c, first_cost) << "seed=" << param.seed;
+    }
+    ++checked;
+  }
+  // A single chain branch has exactly one fact-first partial order; every
+  // multi-branch shape has several.
+  const int min_expected = param.branch_lengths.size() > 1 ? 2 : 1;
+  EXPECT_GE(checked, min_expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SnowflakeTheoremTest,
+    ::testing::Values(SnowflakeCase{{1, 2}, 1}, SnowflakeCase{{2, 2}, 2},
+                      SnowflakeCase{{1, 2}, 3}, SnowflakeCase{{3}, 4},
+                      SnowflakeCase{{2, 2}, 5}, SnowflakeCase{{1, 1, 2}, 6}));
+
+// ---------- Absorption rule (Lemmas 1 and 3) ----------
+
+class AbsorptionTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AbsorptionTest, SemijoinEqualsJoinCardinalityForPkFk) {
+  const uint64_t seed = GetParam();
+  auto db = MakeStarDb(3, 2000, 80, {0.3, 0.1, 0.7}, seed, 0.5);
+  auto graph_result = db->Graph();
+  ASSERT_TRUE(graph_result.ok());
+  const JoinGraph& graph = graph_result.value();
+
+  Plan plan = BuildRightDeepPlan(graph, {0, 1, 2, 3});
+  PushDownBitvectors(&plan);
+  ExactCoutModel model;
+  const CoutBreakdown b = model.Compute(plan);
+
+  // Fact leaf output = |R0/(R1,R2,R3)|; every join output must equal it
+  // (|R0 ⋈ R1 ⋈ ... | = |R0/(...)| for PKFK joins with exact filters).
+  double fact_leaf = -1;
+  std::vector<double> join_outputs;
+  for (const PlanNode* n : plan.nodes) {
+    if (n->IsLeaf() && n->relation == 0) {
+      fact_leaf = b.node_output[static_cast<size_t>(n->id)];
+    }
+    if (n->kind == PlanNode::Kind::kJoin) {
+      join_outputs.push_back(b.node_output[static_cast<size_t>(n->id)]);
+    }
+  }
+  ASSERT_GE(fact_leaf, 0);
+  for (double j : join_outputs) {
+    EXPECT_DOUBLE_EQ(j, fact_leaf) << "seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AbsorptionTest,
+                         ::testing::Values(1, 2, 3, 21, 42));
+
+}  // namespace
+}  // namespace bqo

@@ -1,0 +1,176 @@
+// Shared fixtures: tiny synthetic star / chain / snowflake databases whose
+// exact cardinalities the theorem-validation tests can afford to enumerate.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/string_util.h"
+#include "src/workload/datagen.h"
+#include "src/workload/query.h"
+
+namespace bqo::testing {
+
+struct TestDb {
+  Catalog catalog;
+  QuerySpec spec;
+
+  Result<JoinGraph> Graph() const { return BuildJoinGraph(catalog, spec); }
+};
+
+/// \brief Predicate `attr0 < selectivity * domain` (≈ uniform selectivity).
+inline ExprPtr SelPredicate(double selectivity, int64_t domain = 1000) {
+  const int64_t bound = static_cast<int64_t>(selectivity * static_cast<double>(domain));
+  return Lt("attr0", bound);
+}
+
+/// \brief Star query with PKFK joins (Definition 1): fact `f` referencing
+/// dimensions `d0..d{n-1}`; `sels[i]` is dimension i's local selectivity
+/// (negative = no predicate). Relation 0 in the QuerySpec is the fact.
+inline std::unique_ptr<TestDb> MakeStarDb(int num_dims, int64_t fact_rows,
+                                          int64_t dim_rows,
+                                          const std::vector<double>& sels,
+                                          uint64_t seed, double zipf = 0.0) {
+  auto db = std::make_unique<TestDb>();
+  Rng rng(seed);
+  TableGenSpec fact;
+  fact.name = "f";
+  fact.rows = fact_rows;
+  fact.with_pk = false;
+  fact.with_label = false;
+  for (int i = 0; i < num_dims; ++i) {
+    TableGenSpec dim;
+    dim.name = StringFormat("d%d", i);
+    dim.rows = dim_rows;
+    dim.with_label = false;
+    GenerateTable(&db->catalog, dim, &rng);
+    fact.fks.push_back(FkSpec{StringFormat("d%d_fk", i), dim.name,
+                              dim.name + "_id", zipf, 0.0});
+  }
+  GenerateTable(&db->catalog, fact, &rng);
+
+  db->spec.name = "star";
+  db->spec.relations.push_back({"f", "f", nullptr});
+  for (int i = 0; i < num_dims; ++i) {
+    const double sel = i < static_cast<int>(sels.size()) ? sels[static_cast<size_t>(i)] : -1.0;
+    db->spec.relations.push_back(
+        {StringFormat("d%d", i), StringFormat("d%d", i),
+         sel < 0 ? nullptr : SelPredicate(sel)});
+    db->spec.joins.push_back({"f", StringFormat("d%d_fk", i),
+                              StringFormat("d%d", i),
+                              StringFormat("d%d_id", i)});
+  }
+  return db;
+}
+
+/// \brief Branch/chain query (Definition 4): R0 -> R1 -> ... -> Rn, with
+/// |R_i| shrinking by `shrink` per level. Relation i of the QuerySpec is Ri.
+inline std::unique_ptr<TestDb> MakeChainDb(int chain_len, int64_t r0_rows,
+                                           double shrink,
+                                           const std::vector<double>& sels,
+                                           uint64_t seed, double zipf = 0.0) {
+  BQO_CHECK(chain_len >= 2);
+  auto db = std::make_unique<TestDb>();
+  Rng rng(seed);
+  // Generate outermost first (R_{n}) so FKs can reference existing tables.
+  std::vector<int64_t> rows(static_cast<size_t>(chain_len));
+  rows[0] = r0_rows;
+  for (int i = 1; i < chain_len; ++i) {
+    rows[static_cast<size_t>(i)] = std::max<int64_t>(
+        8, static_cast<int64_t>(static_cast<double>(rows[static_cast<size_t>(i - 1)]) * shrink));
+  }
+  for (int i = chain_len - 1; i >= 0; --i) {
+    TableGenSpec t;
+    t.name = StringFormat("r%d", i);
+    t.rows = rows[static_cast<size_t>(i)];
+    t.with_pk = true;
+    t.with_label = false;
+    if (i + 1 < chain_len) {
+      t.fks.push_back(FkSpec{StringFormat("r%d_fk", i + 1),
+                             StringFormat("r%d", i + 1),
+                             StringFormat("r%d_id", i + 1), zipf, 0.0});
+    }
+    GenerateTable(&db->catalog, t, &rng);
+  }
+  db->spec.name = "chain";
+  for (int i = 0; i < chain_len; ++i) {
+    const double sel = i < static_cast<int>(sels.size()) ? sels[static_cast<size_t>(i)] : -1.0;
+    db->spec.relations.push_back({StringFormat("r%d", i),
+                                  StringFormat("r%d", i),
+                                  sel < 0 ? nullptr : SelPredicate(sel)});
+    if (i > 0) {
+      db->spec.joins.push_back(
+          {StringFormat("r%d", i - 1), StringFormat("r%d_fk", i),
+           StringFormat("r%d", i), StringFormat("r%d_id", i)});
+    }
+  }
+  return db;
+}
+
+/// \brief Snowflake query (Definition 2): fact + branches of given lengths.
+/// Aliases: fact "f"; branch i relation j (1-based) "b<i>_<j>".
+/// QuerySpec relation order: f, then branches in order, fact-adjacent first.
+inline std::unique_ptr<TestDb> MakeSnowflakeDb(
+    const std::vector<int>& branch_lengths, int64_t fact_rows,
+    int64_t dim_rows, double shrink, const std::vector<double>& branch_sels,
+    uint64_t seed, double zipf = 0.0) {
+  auto db = std::make_unique<TestDb>();
+  Rng rng(seed);
+  TableGenSpec fact;
+  fact.name = "f";
+  fact.rows = fact_rows;
+  fact.with_pk = false;
+  fact.with_label = false;
+
+  for (size_t i = 0; i < branch_lengths.size(); ++i) {
+    const int len = branch_lengths[i];
+    // Outermost first.
+    for (int j = len; j >= 1; --j) {
+      TableGenSpec t;
+      t.name = StringFormat("b%zu_%d", i, j);
+      t.rows = std::max<int64_t>(
+          8, static_cast<int64_t>(static_cast<double>(dim_rows) *
+                                  std::pow(shrink, j - 1)));
+      t.with_label = false;
+      if (j < len) {
+        t.fks.push_back(FkSpec{StringFormat("b%zu_%d_fk", i, j + 1),
+                               StringFormat("b%zu_%d", i, j + 1),
+                               StringFormat("b%zu_%d_id", i, j + 1), zipf,
+                               0.0});
+      }
+      GenerateTable(&db->catalog, t, &rng);
+    }
+    fact.fks.push_back(FkSpec{StringFormat("b%zu_1_fk", i),
+                              StringFormat("b%zu_1", i),
+                              StringFormat("b%zu_1_id", i), zipf, 0.0});
+  }
+  GenerateTable(&db->catalog, fact, &rng);
+
+  db->spec.name = "snowflake";
+  db->spec.relations.push_back({"f", "f", nullptr});
+  for (size_t i = 0; i < branch_lengths.size(); ++i) {
+    const double sel = i < branch_sels.size() ? branch_sels[i] : -1.0;
+    for (int j = 1; j <= branch_lengths[i]; ++j) {
+      const std::string name = StringFormat("b%zu_%d", i, j);
+      // Put the branch predicate on the outermost relation so its filter
+      // must traverse the branch.
+      const bool outermost = j == branch_lengths[i];
+      db->spec.relations.push_back(
+          {name, name, (outermost && sel >= 0) ? SelPredicate(sel) : nullptr});
+      if (j == 1) {
+        db->spec.joins.push_back({"f", StringFormat("b%zu_1_fk", i), name,
+                                  name + "_id"});
+      } else {
+        db->spec.joins.push_back({StringFormat("b%zu_%d", i, j - 1),
+                                  name + "_fk", name, name + "_id"});
+      }
+    }
+  }
+  return db;
+}
+
+}  // namespace bqo::testing
