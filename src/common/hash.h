@@ -54,13 +54,52 @@ inline uint64_t HashString(std::string_view s) {
 /// Bitvector filters over multi-column join keys (e.g. the filter built from
 /// the join of A and C in Figure 1 of the paper) hash the concatenation of
 /// the key columns in edge order.
+/// \brief Initial fold state of a composite-key hash. Shared by the scalar
+/// and batched hashers below so their bit-parity holds by construction.
+inline uint64_t CompositeSeed(uint64_t seed) {
+  return Mix64(seed + 0x51afd7ed558ccd00ULL);
+}
+
 inline uint64_t HashComposite(const int64_t* values, size_t n,
                               uint64_t seed = 0) {
-  uint64_t h = Mix64(seed + 0x51afd7ed558ccd00ULL);
+  uint64_t h = CompositeSeed(seed);
   for (size_t i = 0; i < n; ++i) {
     h = HashCombine(h, static_cast<uint64_t>(values[i]));
   }
   return h;
+}
+
+// ---------------------------------------------------------------------------
+// Batched hashing. The executor's vectorized probe pipeline (see batch.h)
+// hashes a whole stride of keys into a caller-provided scratch array before
+// probing, so the multiplies pipeline across keys instead of serializing
+// behind each filter lookup. Both functions are bit-identical to calling
+// HashComposite() per key — the filters are populated through the scalar
+// path and probed through the batched one, so any divergence would be a
+// correctness bug (false negatives), not just a perf bug.
+// ---------------------------------------------------------------------------
+
+/// \brief Hash `n` single-column keys: out[i] = HashComposite(&values[i], 1).
+inline void HashColumn(const int64_t* values, int n, uint64_t* out,
+                       uint64_t seed = 0) {
+  const uint64_t h0 = CompositeSeed(seed);
+  for (int i = 0; i < n; ++i) {
+    out[i] = HashCombine(h0, static_cast<uint64_t>(values[i]));
+  }
+}
+
+/// \brief Hash `n` composite keys given column-wise: key i is
+/// (cols[0][i], ..., cols[num_cols-1][i]). out[i] = HashComposite of key i.
+inline void HashCompositeBatch(const int64_t* const* cols, size_t num_cols,
+                               int n, uint64_t* out, uint64_t seed = 0) {
+  const uint64_t h0 = CompositeSeed(seed);
+  for (int i = 0; i < n; ++i) out[i] = h0;
+  for (size_t c = 0; c < num_cols; ++c) {
+    const int64_t* col = cols[c];
+    for (int i = 0; i < n; ++i) {
+      out[i] = HashCombine(out[i], static_cast<uint64_t>(col[i]));
+    }
+  }
 }
 
 }  // namespace bqo

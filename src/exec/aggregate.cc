@@ -1,5 +1,7 @@
 #include "src/exec/aggregate.h"
 
+#include <algorithm>
+
 #include "src/common/hash.h"
 
 namespace bqo {
@@ -33,24 +35,24 @@ void AggregateOperator::Open() {
 
   Batch batch;
   while (child_->Next(&batch)) {
+    const int64_t* sums = sum_pos_ >= 0 ? batch.col(sum_pos_) : nullptr;
+    const int64_t* keys = group_pos_ >= 0 ? batch.col(group_pos_) : nullptr;
     for (int r = 0; r < batch.num_rows; ++r) {
-      const int64_t v =
-          spec_.kind == AggKind::kSum
-              ? batch.columns[static_cast<size_t>(sum_pos_)]
-                             [static_cast<size_t>(r)]
-              : 1;
-      if (spec_.has_group_by) {
-        const int64_t g = batch.columns[static_cast<size_t>(group_pos_)]
-                                       [static_cast<size_t>(r)];
-        groups_[g] += v;
-      }
+      const int64_t v = spec_.kind == AggKind::kSum ? sums[r] : 1;
+      if (keys != nullptr) groups_[keys[r]] += v;
       total_ += v;
     }
   }
 
   // Order-independent checksum: XOR-sum of hashed (group, value) pairs.
+  // Group keys are also snapshotted so Next() can emit them in
+  // batch-capacity chunks (Batch storage is fixed at kBatchSize rows).
+  group_keys_.clear();
+  emit_cursor_ = 0;
   if (spec_.has_group_by) {
+    group_keys_.reserve(groups_.size());
     for (const auto& [g, v] : groups_) {
+      group_keys_.push_back(g);
       checksum_ += Mix64(HashCombine(HashValue(static_cast<uint64_t>(g)),
                                      static_cast<uint64_t>(v)));
     }
@@ -62,15 +64,19 @@ void AggregateOperator::Open() {
 bool AggregateOperator::Next(Batch* out) {
   TimerGuard timer(&stats_);
   out->Reset(schema_.size());
-  if (emitted_) return false;
-  emitted_ = true;
   if (spec_.has_group_by) {
-    for (const auto& [g, v] : groups_) {
-      (void)v;
-      out->columns[0].push_back(g);
-      ++out->num_rows;
+    if (emit_cursor_ >= group_keys_.size()) return false;
+    const int n = static_cast<int>(std::min<size_t>(
+        kBatchSize, group_keys_.size() - emit_cursor_));
+    int64_t* dst = out->col(0);
+    for (int i = 0; i < n; ++i) {
+      dst[i] = group_keys_[emit_cursor_ + static_cast<size_t>(i)];
     }
+    emit_cursor_ += static_cast<size_t>(n);
+    out->num_rows = n;
   } else {
+    if (emitted_) return false;
+    emitted_ = true;
     out->num_rows = 1;
   }
   stats_.rows_out += out->num_rows;

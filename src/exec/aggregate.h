@@ -47,6 +47,8 @@ class AggregateOperator final : public PhysicalOperator {
   int group_pos_ = -1;
 
   std::unordered_map<int64_t, int64_t> groups_;
+  std::vector<int64_t> group_keys_;  ///< snapshot for chunked emission
+  size_t emit_cursor_ = 0;
   int64_t total_ = 0;
   uint64_t checksum_ = 0;
   bool emitted_ = false;

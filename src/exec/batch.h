@@ -4,34 +4,79 @@
 // raw values, string columns travel as dictionary codes (string predicates
 // are resolved to code sets at scan time), and measures are int64. This
 // keeps the hot loops branch-light and makes composite-key hashing uniform.
+//
+// == Selection-vector execution model ==
+//
+// Operators process strides of up to kBatchSize tuples at a time. Inside an
+// operator, a stride is winnowed by a *selection vector*: a uint16_t array
+// of still-alive positions within the stride. Scans hash a whole stride of
+// filter keys into a position-aligned uint64_t scratch array (HashColumn /
+// HashCompositeBatch), then let each pushed-down bitvector filter compact
+// the selection (BitvectorFilter::MayContainBatch, which prefetches its
+// blocks before testing bits). Only after the last filter are the surviving
+// rows gathered into the output Batch — eliminated rows are never copied.
+// Hash joins likewise hash the whole probe stride up front, prefetch the
+// bucket heads, and walk chains from the precomputed hashes.
+//
+// == Scratch-buffer ownership ==
+//
+// All per-stride scratch (selection vectors, hash arrays, key gather
+// buffers) is owned by the operator that uses it, allocated once at Open()
+// and reused for every Next() call. A Batch itself owns one flat int64
+// allocation of num_cols * kBatchSize values that is reused across Next()
+// calls — Reset() only re-points the column layout, it never clears or
+// reallocates unless the column count grows. Values at positions >=
+// num_rows are stale garbage by design; consumers must only read rows
+// [0, num_rows).
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <vector>
 
+#include "src/common/macros.h"
 #include "src/plan/plan.h"
 
 namespace bqo {
 
 inline constexpr int kBatchSize = 1024;
 
-/// \brief A block of up to kBatchSize tuples in columnar layout.
+/// \brief A block of up to kBatchSize tuples in columnar layout, backed by
+/// one flat allocation (column c occupies [c*kBatchSize, (c+1)*kBatchSize)).
+///
+/// Producers write column values at index num_rows via col() and then bump
+/// num_rows once the whole row is written; they must check Full() (or emit
+/// at most kBatchSize rows per stride) before writing.
 struct Batch {
-  /// columns[c][r] = value of output column c in row r.
-  std::vector<std::vector<int64_t>> columns;
   int num_rows = 0;
 
+  /// \brief Prepare for refill with `num_columns` columns. O(1) amortized:
+  /// grows the flat storage only when the column count exceeds any
+  /// previously seen, and never clears old values.
   void Reset(int num_columns) {
-    columns.resize(static_cast<size_t>(num_columns));
-    for (auto& col : columns) {
-      col.clear();
-      col.reserve(kBatchSize);
+    if (static_cast<size_t>(num_columns) * kBatchSize > data_.size()) {
+      data_.resize(static_cast<size_t>(num_columns) * kBatchSize);
     }
+    num_cols_ = num_columns;
     num_rows = 0;
   }
 
+  int num_cols() const { return num_cols_; }
+
+  int64_t* col(int c) {
+    BQO_DCHECK_LT(c, num_cols_);
+    return data_.data() + static_cast<size_t>(c) * kBatchSize;
+  }
+  const int64_t* col(int c) const {
+    BQO_DCHECK_LT(c, num_cols_);
+    return data_.data() + static_cast<size_t>(c) * kBatchSize;
+  }
+
   bool Full() const { return num_rows >= kBatchSize; }
+
+ private:
+  std::vector<int64_t> data_;  ///< num_cols_ * kBatchSize, reused across Next
+  int num_cols_ = 0;
 };
 
 /// \brief Deterministic ordering for output schemas.

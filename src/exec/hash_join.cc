@@ -1,16 +1,9 @@
 #include "src/exec/hash_join.h"
 
+#include "src/common/bit_util.h"
 #include "src/common/hash.h"
 
 namespace bqo {
-
-namespace {
-uint64_t NextPow2(uint64_t x) {
-  uint64_t p = 1;
-  while (p < x) p <<= 1;
-  return p;
-}
-}  // namespace
 
 HashJoinOperator::HashJoinOperator(std::unique_ptr<PhysicalOperator> build,
                                    std::unique_ptr<PhysicalOperator> probe,
@@ -28,29 +21,52 @@ HashJoinOperator::HashJoinOperator(std::unique_ptr<PhysicalOperator> build,
                config_.probe_key_positions.size());
   BQO_CHECK_LE(config_.build_key_positions.size(), size_t{8});
   build_width_ = build_->output_schema().size();
+
+  // A residual filter whose key columns are exactly this join's equi-join
+  // keys (in order, sourced from either side — the sides agree on every
+  // matched row) hashes to the probe-row hash already computed by
+  // HashProbeBatch; flag those so EmitRow can skip the recomputation.
+  residual_uses_probe_hash_.reserve(config_.residual_filters.size());
+  const size_t nkeys = config_.build_key_positions.size();
+  for (const ResolvedFilter& rf : config_.residual_filters) {
+    bool reuses = rf.key_positions.size() == nkeys;
+    for (size_t k = 0; reuses && k < nkeys; ++k) {
+      const auto& src =
+          config_.output_sources[static_cast<size_t>(rf.key_positions[k])];
+      const int want = src.first ? config_.build_key_positions[k]
+                                 : config_.probe_key_positions[k];
+      reuses = src.second == want;
+    }
+    residual_uses_probe_hash_.push_back(reuses ? 1 : 0);
+  }
 }
 
 void HashJoinOperator::Open() {
   TimerGuard timer(&stats_);
 
-  // ---- Build phase ----
+  // ---- Build phase: batched key hashing, row-major materialization ----
   build_->Open();
   Batch batch;
   const size_t nkeys = config_.build_key_positions.size();
+  probe_hashes_.resize(kBatchSize);
   while (build_->Next(&batch)) {
-    for (int r = 0; r < batch.num_rows; ++r) {
-      int64_t key[8];
-      for (size_t k = 0; k < nkeys; ++k) {
-        key[k] = batch.columns[static_cast<size_t>(
-            config_.build_key_positions[k])][static_cast<size_t>(r)];
-      }
-      const uint64_t hash = HashComposite(key, nkeys);
+    const int n = batch.num_rows;
+    const int64_t* key_cols[8];
+    for (size_t k = 0; k < nkeys; ++k) {
+      key_cols[k] = batch.col(config_.build_key_positions[k]);
+    }
+    if (nkeys == 1) {
+      HashColumn(key_cols[0], n, probe_hashes_.data());
+    } else {
+      HashCompositeBatch(key_cols, nkeys, n, probe_hashes_.data());
+    }
+    for (int r = 0; r < n; ++r) {
       const int32_t row_start = static_cast<int32_t>(build_rows_.size());
       for (int c = 0; c < build_width_; ++c) {
-        build_rows_.push_back(
-            batch.columns[static_cast<size_t>(c)][static_cast<size_t>(r)]);
+        build_rows_.push_back(batch.col(c)[r]);
       }
-      entries_.push_back(Entry{hash, -1, row_start});
+      entries_.push_back(
+          Entry{probe_hashes_[static_cast<size_t>(r)], -1, row_start});
     }
   }
   build_->Close();
@@ -88,14 +104,24 @@ void HashJoinOperator::Open() {
   probe_exhausted_ = false;
 }
 
-uint64_t HashJoinOperator::ProbeHash(const Batch& batch, int row) const {
-  int64_t key[8];
+void HashJoinOperator::HashProbeBatch() {
+  const int n = probe_batch_.num_rows;
   const size_t nkeys = config_.probe_key_positions.size();
+  const int64_t* key_cols[8];
   for (size_t k = 0; k < nkeys; ++k) {
-    key[k] = batch.columns[static_cast<size_t>(
-        config_.probe_key_positions[k])][static_cast<size_t>(row)];
+    key_cols[k] = probe_batch_.col(config_.probe_key_positions[k]);
   }
-  return HashComposite(key, nkeys);
+  uint64_t* hashes = probe_hashes_.data();
+  if (nkeys == 1) {
+    HashColumn(key_cols[0], n, hashes);
+  } else {
+    HashCompositeBatch(key_cols, nkeys, n, hashes);
+  }
+  // Prefetch the bucket heads: the stride's lookups are independent, so the
+  // misses overlap here instead of serializing one per probe row.
+  for (int r = 0; r < n; ++r) {
+    __builtin_prefetch(&buckets_[hashes[r] & bucket_mask_], 0, 1);
+  }
 }
 
 bool HashJoinOperator::KeysEqual(const Entry& entry, const Batch& batch,
@@ -105,36 +131,43 @@ bool HashJoinOperator::KeysEqual(const Entry& entry, const Batch& batch,
     const int64_t build_val =
         build_rows_[static_cast<size_t>(entry.row_start) +
                     static_cast<size_t>(config_.build_key_positions[k])];
-    const int64_t probe_val = batch.columns[static_cast<size_t>(
-        config_.probe_key_positions[k])][static_cast<size_t>(row)];
+    const int64_t probe_val =
+        batch.col(config_.probe_key_positions[k])[row];
     if (build_val != probe_val) return false;
   }
   return true;
 }
 
 bool HashJoinOperator::EmitRow(const Batch& probe_batch, int probe_row,
-                               int32_t build_row, Batch* out) {
+                               uint64_t probe_hash, int32_t build_row,
+                               Batch* out) {
   ++stats_.rows_prefilter;
 
   // Residual filters (Algorithm 1 lines 24-29) evaluate on the joined row.
-  for (const ResolvedFilter& rf : config_.residual_filters) {
+  for (size_t i = 0; i < config_.residual_filters.size(); ++i) {
+    const ResolvedFilter& rf = config_.residual_filters[i];
     BitvectorFilter* filter =
         runtime_->slots[static_cast<size_t>(rf.filter_id)].get();
     if (filter == nullptr) continue;
-    int64_t key[8];
-    const size_t nkeys = rf.key_positions.size();
-    for (size_t k = 0; k < nkeys; ++k) {
-      const auto& src =
-          config_.output_sources[static_cast<size_t>(rf.key_positions[k])];
-      key[k] = src.first
-                   ? build_rows_[static_cast<size_t>(build_row) +
-                                 static_cast<size_t>(src.second)]
-                   : probe_batch.columns[static_cast<size_t>(src.second)]
-                                        [static_cast<size_t>(probe_row)];
+    uint64_t hash;
+    if (residual_uses_probe_hash_[i]) {
+      hash = probe_hash;
+    } else {
+      int64_t key[8];
+      const size_t nkeys = rf.key_positions.size();
+      for (size_t k = 0; k < nkeys; ++k) {
+        const auto& src =
+            config_.output_sources[static_cast<size_t>(rf.key_positions[k])];
+        key[k] = src.first
+                     ? build_rows_[static_cast<size_t>(build_row) +
+                                   static_cast<size_t>(src.second)]
+                     : probe_batch.col(src.second)[probe_row];
+      }
+      hash = HashComposite(key, nkeys);
     }
     FilterStats& fs = runtime_->stats[static_cast<size_t>(rf.filter_id)];
     ++fs.probed;
-    if (!filter->MayContain(HashComposite(key, nkeys))) return false;
+    if (!filter->MayContain(hash)) return false;
     ++fs.passed;
   }
 
@@ -143,9 +176,8 @@ bool HashJoinOperator::EmitRow(const Batch& probe_batch, int probe_row,
     const int64_t v =
         src.first ? build_rows_[static_cast<size_t>(build_row) +
                                 static_cast<size_t>(src.second)]
-                  : probe_batch.columns[static_cast<size_t>(src.second)]
-                                       [static_cast<size_t>(probe_row)];
-    out->columns[c].push_back(v);
+                  : probe_batch.col(src.second)[probe_row];
+    out->col(static_cast<int>(c))[out->num_rows] = v;
   }
   ++out->num_rows;
   return true;
@@ -161,11 +193,16 @@ bool HashJoinOperator::Next(Batch* out) {
       const int probe_row = probe_cursor_ - 1;
       while (pending_entry_ >= 0 && !out->Full()) {
         const Entry& e = entries_[static_cast<size_t>(pending_entry_)];
-        const int32_t entry_idx = pending_entry_;
         pending_entry_ = e.next;
-        if (KeysEqual(e, probe_batch_, probe_row)) {
-          EmitRow(probe_batch_, probe_row,
-                  entries_[static_cast<size_t>(entry_idx)].row_start, out);
+        if (pending_entry_ >= 0) {
+          __builtin_prefetch(&entries_[static_cast<size_t>(pending_entry_)]);
+        }
+        // Compare the precomputed hashes before touching key columns: a
+        // chain mixes genuine duplicates with bucket collisions, and the
+        // hash test rejects collisions with one resident comparison.
+        if (e.hash == pending_hash_ &&
+            KeysEqual(e, probe_batch_, probe_row)) {
+          EmitRow(probe_batch_, probe_row, pending_hash_, e.row_start, out);
         }
       }
       if (pending_entry_ >= 0) break;  // batch full mid-chain
@@ -178,12 +215,13 @@ bool HashJoinOperator::Next(Batch* out) {
         break;
       }
       probe_cursor_ = 0;
+      HashProbeBatch();
       continue;
     }
 
     const int probe_row = probe_cursor_++;
-    const uint64_t hash = ProbeHash(probe_batch_, probe_row);
-    pending_entry_ = buckets_[hash & bucket_mask_];
+    pending_hash_ = probe_hashes_[static_cast<size_t>(probe_row)];
+    pending_entry_ = buckets_[pending_hash_ & bucket_mask_];
   }
 
   stats_.rows_out += out->num_rows;

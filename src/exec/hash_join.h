@@ -51,10 +51,12 @@ class HashJoinOperator final : public PhysicalOperator {
     int32_t row_start;  ///< offset into build_rows_ (row-major)
   };
 
-  uint64_t ProbeHash(const Batch& batch, int row) const;
+  /// \brief Hash every row of probe_batch_ into probe_hashes_ and prefetch
+  /// the bucket heads the stride is about to touch.
+  void HashProbeBatch();
   bool KeysEqual(const Entry& entry, const Batch& batch, int row) const;
-  bool EmitRow(const Batch& probe_batch, int probe_row, int32_t build_row,
-               Batch* out);
+  bool EmitRow(const Batch& probe_batch, int probe_row, uint64_t probe_hash,
+               int32_t build_row, Batch* out);
 
   std::unique_ptr<PhysicalOperator> build_;
   std::unique_ptr<PhysicalOperator> probe_;
@@ -72,7 +74,16 @@ class HashJoinOperator final : public PhysicalOperator {
   Batch probe_batch_;
   int probe_cursor_ = 0;
   int32_t pending_entry_ = -1;
+  uint64_t pending_hash_ = 0;  ///< probe hash of the in-progress chain's row
   bool probe_exhausted_ = false;
+
+  /// Composite-key hashes of the whole current probe batch, computed once
+  /// when the batch arrives (scratch, reused for the build side at Open).
+  std::vector<uint64_t> probe_hashes_;
+  /// residual_uses_probe_hash_[i]: residual filter i's key columns coincide
+  /// (position by position) with this join's equi-join keys, so the cached
+  /// probe hash doubles as its composite hash for every matched row.
+  std::vector<uint8_t> residual_uses_probe_hash_;
 };
 
 }  // namespace bqo

@@ -30,8 +30,7 @@ void SortMergeJoinOperator::Materialize(PhysicalOperator* child,
   while (child->Next(&batch)) {
     for (int r = 0; r < batch.num_rows; ++r) {
       for (int c = 0; c < side->width; ++c) {
-        side->rows.push_back(
-            batch.columns[static_cast<size_t>(c)][static_cast<size_t>(r)]);
+        side->rows.push_back(batch.col(c)[r]);
       }
     }
   }
@@ -142,12 +141,13 @@ bool SortMergeJoinOperator::EmitRow(int64_t build_row, int64_t probe_row,
     if (!filter->MayContain(HashComposite(key, nkeys))) return false;
     ++fs.passed;
   }
-  for (const auto& src : config_.output_sources) {
+  for (size_t c = 0; c < config_.output_sources.size(); ++c) {
+    const auto& src = config_.output_sources[c];
     const Side& side = src.first ? build_side_ : probe_side_;
     const int64_t row = src.first ? build_row : probe_row;
-    out->columns[&src - config_.output_sources.data()].push_back(
+    out->col(static_cast<int>(c))[out->num_rows] =
         side.rows[static_cast<size_t>(row) * static_cast<size_t>(side.width) +
-                  static_cast<size_t>(src.second)]);
+                  static_cast<size_t>(src.second)];
   }
   ++out->num_rows;
   return true;

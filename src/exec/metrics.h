@@ -29,6 +29,10 @@ struct FilterStats {
   int64_t inserted = 0;
   int64_t probed = 0;
   int64_t passed = 0;
+  /// Batched probe calls (MayContainBatch strides). probed/passed are
+  /// aggregated once per stride by the vectorized operators, so
+  /// probed / probe_batches is the mean live-selection width the filter saw.
+  int64_t probe_batches = 0;
   int64_t size_bytes = 0;
 
   double ObservedLambda() const {

@@ -1,5 +1,7 @@
 #include "src/exec/scan.h"
 
+#include <algorithm>
+
 #include "src/common/hash.h"
 #include "src/filter/bloom_filter.h"
 
@@ -7,15 +9,18 @@ namespace bqo {
 
 namespace {
 
-/// Devirtualized probe: Bloom is the production default and the per-tuple
-/// filter-check cost (Cf in Section 6.3) is the quantity Figure 7 profiles,
-/// so the hot path avoids the virtual dispatch for it (BloomFilter is
-/// `final`, so the static_cast call is direct).
-inline bool FilterMayContain(const BitvectorFilter* filter, uint64_t hash) {
+/// Devirtualized batch probe: Bloom is the production default and the
+/// per-tuple filter-check cost (Cf in Section 6.3) is the quantity Figure 7
+/// profiles, so the hot path avoids the virtual dispatch for it (BloomFilter
+/// is `final`, so the static_cast call is direct).
+inline int FilterMayContainBatch(const BitvectorFilter* filter,
+                                 const uint64_t* hashes, uint16_t* sel,
+                                 int num_sel) {
   if (filter->kind() == FilterKind::kBloom) {
-    return static_cast<const BloomFilter*>(filter)->MayContain(hash);
+    return static_cast<const BloomFilter*>(filter)->MayContainBatch(
+        hashes, sel, num_sel);
   }
-  return filter->MayContain(hash);
+  return filter->MayContainBatch(hashes, sel, num_sel);
 }
 
 }  // namespace
@@ -63,55 +68,91 @@ void ScanOperator::Open() {
     }
     active_filters_.push_back(af);
   }
+
+  sel_.resize(kBatchSize);
+  hash_scratch_.resize(kBatchSize);
+  key_scratch_.resize(size_t{8} * kBatchSize);
 }
 
 bool ScanOperator::Next(Batch* out) {
   TimerGuard timer(&stats_);
   out->Reset(schema_.size());
   const size_t num_filters = active_filters_.size();
-  // Per-batch local counters keep the per-tuple filter cost (Cf) down to
-  // hash + probe; flushed to the shared FilterStats after the loop.
-  int64_t probed_local[64] = {0};
-  int64_t passed_local[64] = {0};
-  BQO_CHECK_LE(num_filters, size_t{64});
-  int64_t prefilter_local = 0;
+  uint16_t* sel = sel_.data();
+  uint64_t* hashes = hash_scratch_.data();
 
+  // Keep consuming strides until the output batch fills (or the selection
+  // runs out): under a highly selective filter each stride contributes only
+  // a few survivors, and returning them one stride at a time would multiply
+  // the per-batch overhead of every operator above us. Capping the stride
+  // at the batch's remaining capacity keeps strides near-full until then.
   while (cursor_ < selection_.size() && !out->Full()) {
-    const auto row = static_cast<size_t>(selection_[cursor_++]);
-    ++prefilter_local;
+    const int n = static_cast<int>(std::min<size_t>(
+        static_cast<size_t>(kBatchSize - out->num_rows),
+        selection_.size() - cursor_));
+    const uint32_t* rows = selection_.data() + cursor_;
+    cursor_ += static_cast<size_t>(n);
+    stats_.rows_prefilter += n;
 
-    bool pass = true;
-    for (size_t f = 0; f < num_filters; ++f) {
+    int m = n;
+    for (int i = 0; i < n; ++i) sel[i] = static_cast<uint16_t>(i);
+
+    for (size_t f = 0; f < num_filters && m > 0; ++f) {
       const ActiveFilter& af = active_filters_[f];
-      uint64_t hash;
-      if (BQO_LIKELY(af.num_keys == 1)) {
-        hash = HashComposite(&af.key_data[0][row], 1);
-      } else {
-        int64_t key[8];
-        for (size_t k = 0; k < af.num_keys; ++k) {
-          key[k] = af.key_data[k][row];
+      // Hash the keys of the still-selected positions, position-aligned
+      // with the stride so the selection indexes `hashes` directly.
+      if (af.num_keys == 1) {
+        const int64_t* key_col = af.key_data[0];
+        if (m == n) {
+          // Dense fast path (first filter): gather + batched hashing.
+          int64_t* keys = key_scratch_.data();
+          for (int i = 0; i < n; ++i) {
+            keys[i] = key_col[rows[i]];
+          }
+          HashColumn(keys, n, hashes);
+        } else {
+          for (int j = 0; j < m; ++j) {
+            const uint16_t pos = sel[j];
+            hashes[pos] = HashComposite(&key_col[rows[pos]], 1);
+          }
         }
-        hash = HashComposite(key, af.num_keys);
+      } else if (m == n) {
+        const int64_t* gathered[8];
+        for (size_t k = 0; k < af.num_keys; ++k) {
+          int64_t* dst = key_scratch_.data() + k * kBatchSize;
+          const int64_t* src = af.key_data[k];
+          for (int i = 0; i < n; ++i) dst[i] = src[rows[i]];
+          gathered[k] = dst;
+        }
+        HashCompositeBatch(gathered, af.num_keys, n, hashes);
+      } else {
+        for (int j = 0; j < m; ++j) {
+          const uint16_t pos = sel[j];
+          int64_t key[8];
+          for (size_t k = 0; k < af.num_keys; ++k) {
+            key[k] = af.key_data[k][rows[pos]];
+          }
+          hashes[pos] = HashComposite(key, af.num_keys);
+        }
       }
-      ++probed_local[f];
-      if (!FilterMayContain(af.filter, hash)) {
-        pass = false;
-        break;
-      }
-      ++passed_local[f];
-    }
-    if (!pass) continue;
 
+      af.stats->probed += m;
+      af.stats->probe_batches += 1;
+      m = FilterMayContainBatch(af.filter, hashes, sel, m);
+      af.stats->passed += m;
+    }
+    if (m == 0) continue;
+
+    // Gather the survivors into the output batch in one pass per column,
+    // appending after any survivors from earlier strides.
     for (size_t c = 0; c < gather_cols_.size(); ++c) {
-      out->columns[c].push_back(gather_cols_[c]->int_data()[row]);
+      const int64_t* src = gather_cols_[c]->int_data();
+      int64_t* dst = out->col(static_cast<int>(c)) + out->num_rows;
+      for (int j = 0; j < m; ++j) {
+        dst[j] = src[rows[sel[j]]];
+      }
     }
-    ++out->num_rows;
-  }
-
-  stats_.rows_prefilter += prefilter_local;
-  for (size_t f = 0; f < num_filters; ++f) {
-    active_filters_[f].stats->probed += probed_local[f];
-    active_filters_[f].stats->passed += passed_local[f];
+    out->num_rows += m;
   }
   stats_.rows_out += out->num_rows;
   return out->num_rows > 0;

@@ -1,9 +1,11 @@
 // Table scan: local predicate evaluation plus pushed-down bitvector probes.
 //
 // The predicate is evaluated once at Open() into a selection vector (this is
-// the columnar "leaf" work the paper's Figure 9 counts); Next() gathers the
-// required output columns and tests each candidate row against the bitvector
-// filters pushed down to this leaf by Algorithm 1.
+// the columnar "leaf" work the paper's Figure 9 counts); Next() processes one
+// stride of candidate rows at a time: it hashes the stride's filter keys into
+// a scratch array, lets each pushed-down filter winnow a per-stride selection
+// vector (batched, prefetched probes — see batch.h), and gathers the
+// survivors into the output batch in one pass at the end.
 #pragma once
 
 #include <vector>
@@ -26,9 +28,9 @@ class ScanOperator final : public PhysicalOperator {
   void Close() override;
 
  private:
-  /// A filter fully resolved for the per-row loop: loop-invariant pointers
-  /// hoisted so the check costs only the hash + the probe (the Cf that
-  /// Figure 7 profiles).
+  /// A filter fully resolved for the per-stride loop: loop-invariant
+  /// pointers hoisted so the check costs only the hash + the probe (the Cf
+  /// that Figure 7 profiles).
   struct ActiveFilter {
     const BitvectorFilter* filter = nullptr;
     FilterStats* stats = nullptr;
@@ -48,6 +50,13 @@ class ScanOperator final : public PhysicalOperator {
 
   std::vector<uint32_t> selection_;
   size_t cursor_ = 0;
+
+  // Per-stride scratch, allocated at Open() and reused every Next() call
+  // (see batch.h for the ownership convention). All are position-aligned
+  // with the current stride of up to kBatchSize candidate rows.
+  std::vector<uint16_t> sel_;           ///< live positions within the stride
+  std::vector<uint64_t> hash_scratch_;  ///< hash of position i's key
+  std::vector<int64_t> key_scratch_;    ///< gathered key columns (8 strides)
 };
 
 }  // namespace bqo

@@ -18,7 +18,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <string>
 
 namespace bqo {
 
@@ -38,6 +37,29 @@ class BitvectorFilter {
   /// \brief Probe: false means the key is definitely absent; true means it
   /// may be present (exactly present for ExactFilter).
   virtual bool MayContain(uint64_t hash) const = 0;
+
+  /// \brief Batched probe over a selection vector.
+  ///
+  /// `hashes` is a position-aligned scratch array (see HashColumn /
+  /// HashCompositeBatch); `sel` holds `num_sel` indices into it, sorted
+  /// ascending. Survivor indices are compacted to the front of `sel`
+  /// in place and the new count is returned. The pass set is required to
+  /// be bit-identical to calling MayContain(hashes[sel[j]]) per index —
+  /// implementations only add software prefetching, never change bits.
+  ///
+  /// Default: the scalar loop. Overrides overlap cache misses instead of
+  /// serializing them: Bloom and Exact interleave (prefetch the line of key
+  /// j+D while testing key j), Cuckoo runs chunked passes (prefetch primary
+  /// buckets, resolve, prefetch only the alt buckets that are still needed).
+  virtual int MayContainBatch(const uint64_t* hashes, uint16_t* sel,
+                              int num_sel) const {
+    int out = 0;
+    for (int j = 0; j < num_sel; ++j) {
+      const uint16_t s = sel[j];
+      if (MayContain(hashes[s])) sel[out++] = s;
+    }
+    return out;
+  }
 
   /// \brief True iff this implementation can never return a false positive.
   virtual bool exact() const = 0;

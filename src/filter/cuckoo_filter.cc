@@ -1,17 +1,10 @@
 #include "src/filter/cuckoo_filter.h"
 
+#include "src/common/bit_util.h"
 #include "src/common/hash.h"
 #include "src/common/macros.h"
 
 namespace bqo {
-
-namespace {
-uint64_t NextPow2(uint64_t x) {
-  uint64_t p = 1;
-  while (p < x) p <<= 1;
-  return p;
-}
-}  // namespace
 
 CuckooFilter::CuckooFilter(int64_t expected_keys, int fingerprint_bits)
     : BitvectorFilter(FilterKind::kCuckoo) {
@@ -88,6 +81,52 @@ bool CuckooFilter::MayContain(uint64_t hash) const {
   const uint64_t i1 = IndexOf(hash);
   if (BucketContains(i1, fp)) return true;
   return BucketContains(AltIndex(i1, fp), fp);
+}
+
+int CuckooFilter::MayContainBatch(const uint64_t* hashes, uint16_t* sel,
+                                  int num_sel) const {
+  if (overflowed_) return num_sel;  // degenerate filter admits everything
+  // Three passes per chunk. Most hits resolve in the primary bucket, so the
+  // alt bucket is only prefetched (and touched) for keys whose primary
+  // missed — matching the scalar path's early exit instead of doubling the
+  // bandwidth. A per-chunk verdict bitmap keeps the compacted selection in
+  // its original (ascending) order regardless of which pass resolved a key.
+  constexpr int kChunk = 128;
+  bool verdict[kChunk];
+  int pend_pos[kChunk];
+  uint64_t pend_alt[kChunk];
+  uint16_t pend_fp[kChunk];
+  int out = 0;
+  for (int base = 0; base < num_sel; base += kChunk) {
+    const int end = base + kChunk < num_sel ? base + kChunk : num_sel;
+    for (int j = base; j < end; ++j) {
+      __builtin_prefetch(&slots_[IndexOf(hashes[sel[j]]) * kBucketSize], 0, 1);
+    }
+    int npend = 0;
+    for (int j = base; j < end; ++j) {
+      const uint64_t h = hashes[sel[j]];
+      const uint16_t fp = FingerprintOf(h);
+      const uint64_t i1 = IndexOf(h);
+      if (BucketContains(i1, fp)) {
+        verdict[j - base] = true;
+      } else {
+        verdict[j - base] = false;
+        const uint64_t i2 = AltIndex(i1, fp);
+        __builtin_prefetch(&slots_[i2 * kBucketSize], 0, 1);
+        pend_pos[npend] = j - base;
+        pend_alt[npend] = i2;
+        pend_fp[npend] = fp;
+        ++npend;
+      }
+    }
+    for (int p = 0; p < npend; ++p) {
+      verdict[pend_pos[p]] = BucketContains(pend_alt[p], pend_fp[p]);
+    }
+    for (int j = base; j < end; ++j) {
+      if (verdict[j - base]) sel[out++] = sel[j];
+    }
+  }
+  return out;
 }
 
 }  // namespace bqo

@@ -16,6 +16,8 @@ class CuckooFilter final : public BitvectorFilter {
 
   void Insert(uint64_t hash) override;
   bool MayContain(uint64_t hash) const override;
+  int MayContainBatch(const uint64_t* hashes, uint16_t* sel,
+                      int num_sel) const override;
 
   bool exact() const override { return false; }
   int64_t SizeBytes() const override {

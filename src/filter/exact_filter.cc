@@ -1,16 +1,10 @@
 #include "src/filter/exact_filter.h"
 
+#include "src/common/bit_util.h"
 #include "src/common/macros.h"
+#include "src/filter/probe_batch.h"
 
 namespace bqo {
-
-namespace {
-uint64_t NextPow2(uint64_t x) {
-  uint64_t p = 1;
-  while (p < x) p <<= 1;
-  return p;
-}
-}  // namespace
 
 ExactFilter::ExactFilter(int64_t expected_keys)
     : BitvectorFilter(FilterKind::kExact) {
@@ -51,6 +45,16 @@ bool ExactFilter::MayContain(uint64_t hash) const {
     idx = (idx + 1) & mask_;
   }
   return false;
+}
+
+int ExactFilter::MayContainBatch(const uint64_t* hashes, uint16_t* sel,
+                                 int num_sel) const {
+  // Linear-probe runs past the prefetched home slot are short (<= 70%
+  // load) and usually stay on the same line.
+  return InterleavedProbeBatch(
+      hashes, sel, num_sel,
+      [this](uint64_t h) { __builtin_prefetch(&slots_[h & mask_], 0, 1); },
+      [this](uint64_t h) { return MayContain(h); });
 }
 
 void ExactFilter::Grow() {
