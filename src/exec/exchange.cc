@@ -1,0 +1,117 @@
+#include "src/exec/exchange.h"
+
+#include <chrono>
+#include <utility>
+
+namespace bqo {
+
+ExchangeOperator::ExchangeOperator(std::unique_ptr<ScanOperator> child,
+                                   ExecConfig config, std::string label)
+    : child_(std::move(child)), config_(config) {
+  schema_ = child_->output_schema();
+  stats_.type = OperatorType::kExchange;
+  stats_.label = std::move(label);
+  BQO_CHECK_GT(config_.ResolvedThreads(), 1);
+}
+
+ExchangeOperator::~ExchangeOperator() {
+  // Defensive: never leak running workers if Close() was skipped.
+  Shutdown();
+}
+
+void ExchangeOperator::Open() {
+  TimerGuard timer(&stats_);
+  child_->Open();
+  child_->set_morsel_rows(static_cast<size_t>(config_.morsel_rows));
+
+  const int num_workers = config_.ResolvedThreads();
+  capacity_ = static_cast<size_t>(config_.ResolvedQueueBatches());
+  abort_ = false;
+  active_producers_ = num_workers;
+  ready_.clear();
+  recycled_.clear();
+
+  workers_.assign(static_cast<size_t>(num_workers),
+                  ScanOperator::WorkerState{});
+  for (auto& ws : workers_) child_->InitWorkerState(&ws);
+  threads_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    threads_.emplace_back(&ExchangeOperator::WorkerMain, this, i);
+  }
+}
+
+void ExchangeOperator::WorkerMain(int worker_index) {
+  ScanOperator::WorkerState& ws =
+      workers_[static_cast<size_t>(worker_index)];
+  Batch batch;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (abort_) break;
+      if (!recycled_.empty()) {
+        batch = std::move(recycled_.back());
+        recycled_.pop_back();
+      }
+    }
+    const auto start = std::chrono::steady_clock::now();
+    const bool produced = child_->ParallelNext(&batch, &ws);
+    ws.busy_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    if (!produced) break;
+
+    std::unique_lock<std::mutex> lock(mu_);
+    can_push_.wait(lock, [this] { return ready_.size() < capacity_ || abort_; });
+    if (abort_) break;
+    ready_.push_back(std::move(batch));
+    batch = Batch();
+    can_pop_.notify_one();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--active_producers_ == 0) can_pop_.notify_all();
+}
+
+bool ExchangeOperator::Next(Batch* out) {
+  TimerGuard timer(&stats_);
+  std::unique_lock<std::mutex> lock(mu_);
+  can_pop_.wait(lock,
+                [this] { return !ready_.empty() || active_producers_ == 0; });
+  if (ready_.empty()) {
+    lock.unlock();
+    out->Reset(schema_.size());
+    return false;
+  }
+  Batch produced = std::move(ready_.front());
+  ready_.pop_front();
+  // Swap storage so the consumed batch's allocation goes back to a worker.
+  std::swap(*out, produced);
+  recycled_.push_back(std::move(produced));
+  can_push_.notify_one();
+  lock.unlock();
+
+  stats_.rows_prefilter += out->num_rows;  // pass-through: in == out
+  stats_.rows_out += out->num_rows;
+  return true;
+}
+
+void ExchangeOperator::Shutdown() {
+  if (threads_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    abort_ = true;
+    can_push_.notify_all();
+  }
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+  for (auto& ws : workers_) child_->MergeWorkerStats(&ws);
+  workers_.clear();
+  ready_.clear();
+  recycled_.clear();
+}
+
+void ExchangeOperator::Close() {
+  Shutdown();
+  child_->Close();
+}
+
+}  // namespace bqo

@@ -1,0 +1,68 @@
+// ExchangeOperator: morsel-parallel scan draining behind a Volcano facade.
+//
+// Open() spawns N workers that pull morsels from the wrapped ScanOperator's
+// shared cursor (scan.h) and push filled batches into a bounded queue;
+// Next() pops batches for the single-threaded plan above. The operators
+// above an exchange never see a thread — parallelism stops at the queue.
+//
+// Stats discipline: workers accumulate FilterStats/OperatorStats deltas in
+// their private WorkerState; Close() joins every worker and merges the
+// deltas into the shared FilterRuntime exactly once, so the merged
+// probed/passed counts equal the single-threaded run's (the observed-lambda
+// numbers of Section 6.3 stay exact under parallelism). Batch order in the
+// queue is nondeterministic, but every consumer above (joins, aggregates,
+// the result checksum) is order-independent, so query results are
+// byte-identical to threads=1.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/exec/exec_config.h"
+#include "src/exec/scan.h"
+
+namespace bqo {
+
+class ExchangeOperator final : public PhysicalOperator {
+ public:
+  ExchangeOperator(std::unique_ptr<ScanOperator> child, ExecConfig config,
+                   std::string label);
+  ~ExchangeOperator() override;
+
+  void Open() override;
+  bool Next(Batch* out) override;
+  void Close() override;
+
+  std::vector<PhysicalOperator*> children() override {
+    return {child_.get()};
+  }
+
+ private:
+  void WorkerMain(int worker_index);
+  /// Join workers and merge their stats; idempotent.
+  void Shutdown();
+
+  std::unique_ptr<ScanOperator> child_;
+  ExecConfig config_;
+
+  std::vector<std::thread> threads_;
+  std::vector<ScanOperator::WorkerState> workers_;
+
+  // Bounded MPSC queue. `ready_` holds produced batches; `recycled_` holds
+  // consumed batches whose flat storage workers reuse, so steady-state
+  // operation allocates nothing.
+  std::mutex mu_;
+  std::condition_variable can_push_;  ///< signaled when ready_ drains/aborts
+  std::condition_variable can_pop_;   ///< signaled on push / last producer
+  std::deque<Batch> ready_;
+  std::vector<Batch> recycled_;
+  size_t capacity_ = 0;
+  int active_producers_ = 0;
+  bool abort_ = false;
+};
+
+}  // namespace bqo

@@ -1,0 +1,61 @@
+// Execution-engine configuration: the knobs that select between the
+// single-threaded Volcano pipeline and morsel-parallel scan draining.
+//
+// Threading model: only scans go wide. The selection vector a scan computes
+// at Open() is split into fixed-size morsels claimed off an atomic cursor;
+// each worker runs the scan's hash -> MayContainBatch -> gather pipeline
+// into thread-local batches and hands them to the single-threaded plan
+// above through a bounded queue (src/exec/exchange.h). Bitvector filters
+// are read-only once built, so probing needs no locks; the mutable counters
+// (FilterStats, OperatorStats) are accumulated per worker and merged once
+// at Close() so observed-selectivity numbers stay exact (see metrics.h).
+#pragma once
+
+#include <cstdlib>
+#include <thread>
+
+namespace bqo {
+
+struct ExecConfig {
+  /// Scan worker threads. 1 = today's single-threaded operator pipeline,
+  /// bit-for-bit (no exchange operator is compiled in). 0 = one worker per
+  /// hardware thread. >1 = that many workers per scan.
+  int threads = 1;
+
+  /// Rows of a scan's selection vector claimed per atomic cursor bump.
+  /// Large enough to amortize the claim, small enough that workers finish
+  /// within a few morsels of each other at the tail.
+  int morsel_rows = 16384;
+
+  /// Bounded-queue depth (in batches) between scan workers and the
+  /// consuming plan. 0 = 2 batches per worker.
+  int queue_batches = 0;
+
+  int ResolvedThreads() const {
+    int n = threads;
+    if (n == 0) n = static_cast<int>(std::thread::hardware_concurrency());
+    return n < 1 ? 1 : n;
+  }
+
+  int ResolvedQueueBatches() const {
+    const int n = queue_batches > 0 ? queue_batches : 2 * ResolvedThreads();
+    return n < 2 ? 2 : n;
+  }
+};
+
+/// \brief ExecConfig from the environment (BQO_THREADS, BQO_MORSEL_ROWS) —
+/// how the workload runner and the bench binaries plumb the knob in.
+inline ExecConfig ExecConfigFromEnv() {
+  ExecConfig config;
+  if (const char* t = std::getenv("BQO_THREADS")) {
+    config.threads = std::atoi(t);
+    if (config.threads < 0) config.threads = 1;
+  }
+  if (const char* m = std::getenv("BQO_MORSEL_ROWS")) {
+    const int rows = std::atoi(m);
+    if (rows > 0) config.morsel_rows = rows;
+  }
+  return config;
+}
+
+}  // namespace bqo

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "src/common/string_util.h"
+#include "src/exec/exchange.h"
 #include "src/exec/hash_join.h"
 #include "src/exec/merge_join.h"
 #include "src/exec/scan.h"
@@ -72,6 +73,15 @@ std::unique_ptr<PhysicalOperator> CompileNode(
         rel.table, rel.predicate, OutputSchema(std::move(required)),
         std::move(filters), runtime, "scan " + rel.alias);
     op->stats().plan_node_id = node.id;
+    // Morsel-parallel scans: threads > 1 drains the scan through an
+    // exchange; threads == 1 keeps the scan inline (today's plan shape,
+    // bit-for-bit).
+    if (options.exec.ResolvedThreads() > 1) {
+      auto exchange = std::make_unique<ExchangeOperator>(
+          std::move(op), options.exec, "xchg " + rel.alias);
+      exchange->stats().plan_node_id = node.id;
+      return exchange;
+    }
     return op;
   }
 
@@ -173,6 +183,9 @@ void CollectStats(PhysicalOperator* op, QueryMetrics* metrics) {
       break;
     case OperatorType::kAggregate:
       metrics->other_tuples += stats.rows_out;
+      break;
+    case OperatorType::kExchange:
+      // Pass-through; its scan child already contributed to leaf_tuples.
       break;
   }
   metrics->operators.push_back(std::move(stats));

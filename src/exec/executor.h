@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "src/exec/aggregate.h"
+#include "src/exec/exec_config.h"
 #include "src/exec/metrics.h"
 #include "src/plan/plan.h"
 
@@ -17,6 +18,10 @@ namespace bqo {
 struct ExecutionOptions {
   /// Filter implementation used for created bitvector filters.
   FilterConfig filter_config;
+  /// Threading knobs. exec.threads > 1 compiles every scan behind an
+  /// ExchangeOperator (morsel-parallel draining, exchange.h); threads == 1
+  /// compiles exactly the pre-exchange single-threaded plan.
+  ExecConfig exec;
   /// When false, no bitvector filters are created or probed (the paper's
   /// Appendix A / Table 4 comparison: same plan, filters ignored).
   bool use_bitvectors = true;

@@ -11,7 +11,7 @@
 
 namespace bqo {
 
-enum class OperatorType : uint8_t { kScan, kHashJoin, kAggregate };
+enum class OperatorType : uint8_t { kScan, kHashJoin, kAggregate, kExchange };
 
 struct OperatorStats {
   OperatorType type = OperatorType::kScan;
@@ -19,10 +19,26 @@ struct OperatorStats {
   int plan_node_id = -1;
   int64_t rows_out = 0;         ///< after residual bitvector filters
   int64_t rows_prefilter = 0;   ///< before bitvector filters at this op
-  int64_t ns_inclusive = 0;     ///< wall ns inside Open+Next (children incl.)
+  /// Wall ns inside Open+Next (children incl.). Exception: a scan drained
+  /// by an ExchangeOperator reports summed worker pipeline time here — CPU
+  /// ns, which can exceed the stage's wall time; the exchange's own
+  /// ns_inclusive is the stage wall time the plan above observed.
+  int64_t ns_inclusive = 0;
   int64_t ns_self = 0;          ///< ns_inclusive minus children
 };
 
+/// Per-filter build/probe counters.
+///
+/// == Per-worker accumulation invariant ==
+///
+/// These counters are plain (non-atomic) fields. Under morsel-parallel scans
+/// every worker accumulates into its own private FilterStats/OperatorStats
+/// (ScanOperator::WorkerState) and the deltas are merged into the shared
+/// FilterRuntime exactly once at Close(), after the workers are joined — so
+/// probed/passed (and ObservedLambda) are exact and equal to the
+/// single-threaded counts, never torn or approximately-sampled. Only
+/// probe_batches may differ across thread counts (morsel boundaries chop
+/// strides differently); the probe/pass *sets* are partition-invariant.
 struct FilterStats {
   int filter_id = -1;
   bool created = false;   ///< false if pruned/disabled

@@ -49,119 +49,171 @@ ScanOperator::ScanOperator(const Table* table, ExprPtr predicate,
 void ScanOperator::Open() {
   TimerGuard timer(&stats_);
   selection_ = EvaluatePredicate(*table_, predicate_);
-  cursor_ = 0;
+  shared_cursor_.store(0, std::memory_order_relaxed);
+  // One morsel spanning the whole selection: the single-threaded Next()
+  // path then consumes strides exactly as before. ExchangeOperator
+  // overrides this with its configured morsel size before workers start.
+  morsel_rows_ = selection_.empty() ? 1 : selection_.size();
 
   // Resolve the filters pushed down to this scan. Every hash join above
   // has finished its build (and created its filter) before our Open runs.
   active_filters_.clear();
+  filter_stat_slots_.clear();
   for (const ResolvedFilter& rf : filters_) {
     const BitvectorFilter* filter =
         runtime_->slots[static_cast<size_t>(rf.filter_id)].get();
     if (filter == nullptr) continue;  // pruned or disabled
     ActiveFilter af;
     af.filter = filter;
-    af.stats = &runtime_->stats[static_cast<size_t>(rf.filter_id)];
     af.num_keys = rf.key_positions.size();
     BQO_CHECK_LE(af.num_keys, size_t{8});
     for (size_t k = 0; k < af.num_keys; ++k) {
       af.key_data[k] = table_->column(rf.key_positions[k]).int_data();
     }
     active_filters_.push_back(af);
+    filter_stat_slots_.push_back(
+        &runtime_->stats[static_cast<size_t>(rf.filter_id)]);
   }
 
-  sel_.resize(kBatchSize);
-  hash_scratch_.resize(kBatchSize);
-  key_scratch_.resize(size_t{8} * kBatchSize);
+  local_ = WorkerState{};
+  InitWorkerState(&local_);
+}
+
+void ScanOperator::InitWorkerState(WorkerState* ws) const {
+  ws->sel.resize(kBatchSize);
+  ws->hashes.resize(kBatchSize);
+  ws->keys.resize(size_t{8} * kBatchSize);
+  ws->filter_stats.assign(active_filters_.size(), FilterStats{});
+  ws->morsel_pos = 0;
+  ws->morsel_end = 0;
+}
+
+void ScanOperator::ProcessStride(const uint32_t* rows, int n, uint16_t* sel,
+                                 uint64_t* hashes, int64_t* keys,
+                                 FilterStats* fstats, Batch* out) const {
+  const size_t num_filters = active_filters_.size();
+  int m = n;
+  for (int i = 0; i < n; ++i) sel[i] = static_cast<uint16_t>(i);
+
+  for (size_t f = 0; f < num_filters && m > 0; ++f) {
+    const ActiveFilter& af = active_filters_[f];
+    // Hash the keys of the still-selected positions, position-aligned
+    // with the stride so the selection indexes `hashes` directly.
+    if (af.num_keys == 1) {
+      const int64_t* key_col = af.key_data[0];
+      if (m == n) {
+        // Dense fast path (first filter): gather + batched hashing.
+        for (int i = 0; i < n; ++i) {
+          keys[i] = key_col[rows[i]];
+        }
+        HashColumn(keys, n, hashes);
+      } else {
+        for (int j = 0; j < m; ++j) {
+          const uint16_t pos = sel[j];
+          hashes[pos] = HashComposite(&key_col[rows[pos]], 1);
+        }
+      }
+    } else if (m == n) {
+      const int64_t* gathered[8];
+      for (size_t k = 0; k < af.num_keys; ++k) {
+        int64_t* dst = keys + k * kBatchSize;
+        const int64_t* src = af.key_data[k];
+        for (int i = 0; i < n; ++i) dst[i] = src[rows[i]];
+        gathered[k] = dst;
+      }
+      HashCompositeBatch(gathered, af.num_keys, n, hashes);
+    } else {
+      for (int j = 0; j < m; ++j) {
+        const uint16_t pos = sel[j];
+        int64_t key[8];
+        for (size_t k = 0; k < af.num_keys; ++k) {
+          key[k] = af.key_data[k][rows[pos]];
+        }
+        hashes[pos] = HashComposite(key, af.num_keys);
+      }
+    }
+
+    fstats[f].probed += m;
+    fstats[f].probe_batches += 1;
+    m = FilterMayContainBatch(af.filter, hashes, sel, m);
+    fstats[f].passed += m;
+  }
+  if (m == 0) return;
+
+  // Gather the survivors into the output batch in one pass per column,
+  // appending after any survivors from earlier strides.
+  for (size_t c = 0; c < gather_cols_.size(); ++c) {
+    const int64_t* src = gather_cols_[c]->int_data();
+    int64_t* dst = out->col(static_cast<int>(c)) + out->num_rows;
+    for (int j = 0; j < m; ++j) {
+      dst[j] = src[rows[sel[j]]];
+    }
+  }
+  out->num_rows += m;
+}
+
+bool ScanOperator::ParallelNext(Batch* out, WorkerState* ws) {
+  out->Reset(schema_.size());
+  const size_t total = selection_.size();
+
+  // Keep consuming strides until the output batch fills (or the claimed
+  // work runs out): under a highly selective filter each stride contributes
+  // only a few survivors, and returning them one stride at a time would
+  // multiply the per-batch overhead of every operator above us. Capping the
+  // stride at the batch's remaining capacity keeps strides near-full.
+  while (!out->Full()) {
+    if (ws->morsel_pos >= ws->morsel_end) {
+      // Claim the next morsel off the shared cursor. fetch_add is the only
+      // cross-worker synchronization on the hot path.
+      const size_t begin =
+          shared_cursor_.fetch_add(morsel_rows_, std::memory_order_relaxed);
+      if (begin >= total) break;
+      ws->morsel_pos = begin;
+      ws->morsel_end = std::min(begin + morsel_rows_, total);
+    }
+    const int n = static_cast<int>(std::min<size_t>(
+        static_cast<size_t>(kBatchSize - out->num_rows),
+        ws->morsel_end - ws->morsel_pos));
+    const uint32_t* rows = selection_.data() + ws->morsel_pos;
+    ws->morsel_pos += static_cast<size_t>(n);
+    ws->rows_prefilter += n;
+    ProcessStride(rows, n, ws->sel.data(), ws->hashes.data(), ws->keys.data(),
+                  ws->filter_stats.data(), out);
+  }
+  ws->rows_out += out->num_rows;
+  return out->num_rows > 0;
 }
 
 bool ScanOperator::Next(Batch* out) {
   TimerGuard timer(&stats_);
-  out->Reset(schema_.size());
-  const size_t num_filters = active_filters_.size();
-  uint16_t* sel = sel_.data();
-  uint64_t* hashes = hash_scratch_.data();
+  return ParallelNext(out, &local_);
+}
 
-  // Keep consuming strides until the output batch fills (or the selection
-  // runs out): under a highly selective filter each stride contributes only
-  // a few survivors, and returning them one stride at a time would multiply
-  // the per-batch overhead of every operator above us. Capping the stride
-  // at the batch's remaining capacity keeps strides near-full until then.
-  while (cursor_ < selection_.size() && !out->Full()) {
-    const int n = static_cast<int>(std::min<size_t>(
-        static_cast<size_t>(kBatchSize - out->num_rows),
-        selection_.size() - cursor_));
-    const uint32_t* rows = selection_.data() + cursor_;
-    cursor_ += static_cast<size_t>(n);
-    stats_.rows_prefilter += n;
-
-    int m = n;
-    for (int i = 0; i < n; ++i) sel[i] = static_cast<uint16_t>(i);
-
-    for (size_t f = 0; f < num_filters && m > 0; ++f) {
-      const ActiveFilter& af = active_filters_[f];
-      // Hash the keys of the still-selected positions, position-aligned
-      // with the stride so the selection indexes `hashes` directly.
-      if (af.num_keys == 1) {
-        const int64_t* key_col = af.key_data[0];
-        if (m == n) {
-          // Dense fast path (first filter): gather + batched hashing.
-          int64_t* keys = key_scratch_.data();
-          for (int i = 0; i < n; ++i) {
-            keys[i] = key_col[rows[i]];
-          }
-          HashColumn(keys, n, hashes);
-        } else {
-          for (int j = 0; j < m; ++j) {
-            const uint16_t pos = sel[j];
-            hashes[pos] = HashComposite(&key_col[rows[pos]], 1);
-          }
-        }
-      } else if (m == n) {
-        const int64_t* gathered[8];
-        for (size_t k = 0; k < af.num_keys; ++k) {
-          int64_t* dst = key_scratch_.data() + k * kBatchSize;
-          const int64_t* src = af.key_data[k];
-          for (int i = 0; i < n; ++i) dst[i] = src[rows[i]];
-          gathered[k] = dst;
-        }
-        HashCompositeBatch(gathered, af.num_keys, n, hashes);
-      } else {
-        for (int j = 0; j < m; ++j) {
-          const uint16_t pos = sel[j];
-          int64_t key[8];
-          for (size_t k = 0; k < af.num_keys; ++k) {
-            key[k] = af.key_data[k][rows[pos]];
-          }
-          hashes[pos] = HashComposite(key, af.num_keys);
-        }
-      }
-
-      af.stats->probed += m;
-      af.stats->probe_batches += 1;
-      m = FilterMayContainBatch(af.filter, hashes, sel, m);
-      af.stats->passed += m;
-    }
-    if (m == 0) continue;
-
-    // Gather the survivors into the output batch in one pass per column,
-    // appending after any survivors from earlier strides.
-    for (size_t c = 0; c < gather_cols_.size(); ++c) {
-      const int64_t* src = gather_cols_[c]->int_data();
-      int64_t* dst = out->col(static_cast<int>(c)) + out->num_rows;
-      for (int j = 0; j < m; ++j) {
-        dst[j] = src[rows[sel[j]]];
-      }
-    }
-    out->num_rows += m;
+void ScanOperator::MergeWorkerStats(WorkerState* ws) {
+  BQO_CHECK_EQ(ws->filter_stats.size(), filter_stat_slots_.size());
+  for (size_t f = 0; f < filter_stat_slots_.size(); ++f) {
+    FilterStats* dst = filter_stat_slots_[f];
+    dst->probed += ws->filter_stats[f].probed;
+    dst->passed += ws->filter_stats[f].passed;
+    dst->probe_batches += ws->filter_stats[f].probe_batches;
   }
-  stats_.rows_out += out->num_rows;
-  return out->num_rows > 0;
+  ws->filter_stats.clear();  // merged; a repeated Close() merges nothing
+  stats_.rows_prefilter += ws->rows_prefilter;
+  stats_.rows_out += ws->rows_out;
+  // Summed worker pipeline time; under morsel parallelism the scan's
+  // ns_inclusive is CPU time, not wall time (see metrics.h).
+  stats_.ns_inclusive += ws->busy_ns;
+  ws->rows_prefilter = 0;
+  ws->rows_out = 0;
+  ws->busy_ns = 0;
 }
 
 void ScanOperator::Close() {
+  MergeWorkerStats(&local_);
   selection_.clear();
   selection_.shrink_to_fit();
   active_filters_.clear();
+  filter_stat_slots_.clear();
 }
 
 }  // namespace bqo

@@ -1,13 +1,26 @@
 // Table scan: local predicate evaluation plus pushed-down bitvector probes.
 //
 // The predicate is evaluated once at Open() into a selection vector (this is
-// the columnar "leaf" work the paper's Figure 9 counts); Next() processes one
-// stride of candidate rows at a time: it hashes the stride's filter keys into
-// a scratch array, lets each pushed-down filter winnow a per-stride selection
-// vector (batched, prefetched probes — see batch.h), and gathers the
-// survivors into the output batch in one pass at the end.
+// the columnar "leaf" work the paper's Figure 9 counts); batches are produced
+// one stride of candidate rows at a time: the stride's filter keys are hashed
+// into a scratch array, each pushed-down filter winnows a per-stride selection
+// vector (batched, prefetched probes — see batch.h), and the survivors are
+// gathered into the output batch in one pass at the end.
+//
+// == Morsel parallelism ==
+//
+// The selection vector is immutable after Open(), and so are the bitvector
+// filters (built before the probe side opens), so the stride pipeline can run
+// from many threads at once: strides are claimed off an atomic cursor in
+// morsel-sized chunks, and each worker keeps its own scratch buffers and
+// stats accumulators in a WorkerState. The single-threaded Next() path is the
+// degenerate case — one WorkerState, one morsel spanning the whole selection —
+// so both paths execute the same code. ExchangeOperator (exchange.h) owns the
+// worker threads; it merges every WorkerState's counters back into the shared
+// OperatorStats/FilterStats exactly once at Close().
 #pragma once
 
+#include <atomic>
 #include <vector>
 
 #include "src/exec/operator.h"
@@ -27,16 +40,57 @@ class ScanOperator final : public PhysicalOperator {
   bool Next(Batch* out) override;
   void Close() override;
 
+  /// Per-worker execution state: the stride scratch plus private stats
+  /// accumulators. Workers never touch the shared FilterRuntime counters;
+  /// MergeWorkerStats folds these in once the worker is done, so the merged
+  /// probed/passed totals are exactly the single-threaded counts.
+  struct WorkerState {
+    std::vector<uint16_t> sel;           ///< live positions within the stride
+    std::vector<uint64_t> hashes;        ///< hash of position i's key
+    std::vector<int64_t> keys;           ///< gathered key columns (8 strides)
+    std::vector<FilterStats> filter_stats;  ///< aligned with active_filters_
+    int64_t rows_prefilter = 0;
+    int64_t rows_out = 0;
+    int64_t busy_ns = 0;                 ///< pipeline time (exchange workers)
+    // Current claimed morsel: [morsel_pos, morsel_end) over selection_.
+    size_t morsel_pos = 0;
+    size_t morsel_end = 0;
+  };
+
+  /// \brief Size `ws`'s scratch for this scan. Call after Open().
+  void InitWorkerState(WorkerState* ws) const;
+
+  /// \brief Fill `out` by claiming strides off the shared morsel cursor;
+  /// false when the selection is exhausted and `out` came up empty. Safe to
+  /// call from multiple threads after Open(), each with its own WorkerState;
+  /// all counters accumulate into `ws`.
+  bool ParallelNext(Batch* out, WorkerState* ws);
+
+  /// \brief Fold a worker's accumulators into the shared stats. Call with
+  /// the worker quiesced (joined), before Close(); not thread-safe.
+  void MergeWorkerStats(WorkerState* ws);
+
+  /// \brief Selection rows claimed per atomic cursor bump (exchange.h sets
+  /// this between Open() and the first ParallelNext).
+  void set_morsel_rows(size_t rows) { morsel_rows_ = rows < 1 ? 1 : rows; }
+
  private:
   /// A filter fully resolved for the per-stride loop: loop-invariant
   /// pointers hoisted so the check costs only the hash + the probe (the Cf
   /// that Figure 7 profiles).
   struct ActiveFilter {
     const BitvectorFilter* filter = nullptr;
-    FilterStats* stats = nullptr;
     const int64_t* key_data[8] = {nullptr};
     size_t num_keys = 0;
   };
+
+  /// Run one stride of `n` candidate rows through the filter pipeline and
+  /// gather the survivors into `out`. `fstats` is aligned with
+  /// active_filters_; scratch arrays belong to the calling worker. const —
+  /// shared scan state is read-only here, so concurrent callers are safe.
+  void ProcessStride(const uint32_t* rows, int n, uint16_t* sel,
+                     uint64_t* hashes, int64_t* keys, FilterStats* fstats,
+                     Batch* out) const;
 
   const Table* table_;
   ExprPtr predicate_;
@@ -47,16 +101,16 @@ class ScanOperator final : public PhysicalOperator {
   /// Resolved at Open() (filter slots are filled by then; hash joins above
   /// this scan complete their builds before opening their probe side).
   std::vector<ActiveFilter> active_filters_;
+  /// FilterRuntime stats slots aligned with active_filters_ (merge targets).
+  std::vector<FilterStats*> filter_stat_slots_;
 
   std::vector<uint32_t> selection_;
-  size_t cursor_ = 0;
+  /// Next unclaimed selection index; workers advance it by morsel_rows_.
+  std::atomic<size_t> shared_cursor_{0};
+  size_t morsel_rows_ = 0;
 
-  // Per-stride scratch, allocated at Open() and reused every Next() call
-  // (see batch.h for the ownership convention). All are position-aligned
-  // with the current stride of up to kBatchSize candidate rows.
-  std::vector<uint16_t> sel_;           ///< live positions within the stride
-  std::vector<uint64_t> hash_scratch_;  ///< hash of position i's key
-  std::vector<int64_t> key_scratch_;    ///< gathered key columns (8 strides)
+  /// State for the single-threaded Next() path (merged at Close()).
+  WorkerState local_;
 };
 
 }  // namespace bqo

@@ -69,6 +69,13 @@ class BitvectorFilter {
   FilterKind kind() const { return kind_; }
 
   virtual int64_t SizeBytes() const = 0;
+
+  /// \brief Number of keys logically added: Insert calls that changed what
+  /// the filter can reject. Uniform across implementations — duplicate
+  /// inserts never count (ExactFilter detects them exactly; Bloom counts an
+  /// insert iff it set a new bit; cuckoo iff the (fingerprint, bucket) pair
+  /// was new), and inserts into an overflowed cuckoo don't count either.
+  /// This is the n that FP-rate formulas and the cost model divide by.
   virtual int64_t NumInserted() const = 0;
 
  private:

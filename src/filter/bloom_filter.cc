@@ -1,5 +1,6 @@
 #include "src/filter/bloom_filter.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/common/bit_util.h"
@@ -22,23 +23,31 @@ BloomFilter::BloomFilter(int64_t expected_keys, double bits_per_key)
   // The information-theoretic optimum is k = 0.693 * bits/key, but probes
   // within a block are sequentially dependent, so past ~4 the extra probes
   // cost more CPU (Cf) than their FP reduction saves. Cap at 4 — the same
-  // trade commercial blocked-Bloom implementations make.
-  k_ = static_cast<int>(std::lround(bits_per_key * 0.6931));
-  if (k_ < 1) k_ = 1;
-  if (k_ > 4) k_ = 4;
+  // trade commercial blocked-Bloom implementations make. The lower clamp
+  // matters too: round() alone hits k = 0 below ~0.72 bits/key, a filter
+  // that sets no bits and admits everything, so if the bits_per_key >= 1.0
+  // check above is ever relaxed this keeps the filter sound.
+  k_ = std::clamp(static_cast<int>(std::lround(bits_per_key * 0.6931)), 1, 4);
 }
 
 void BloomFilter::Insert(uint64_t hash) {
-  ++num_inserted_;
   Block& block = blocks_[hash & block_mask_];
   // Double hashing within the block: bit_i = h1 + i*h2 (mod 512).
   uint64_t h1 = hash >> 17;
   const uint64_t h2 = (Mix64(hash) | 1);  // odd stride
+  uint64_t newly_set = 0;
   for (int i = 0; i < k_; ++i) {
     const uint64_t bit = h1 & 511;
-    block.words[bit >> 6] |= uint64_t{1} << (bit & 63);
+    const uint64_t mask = uint64_t{1} << (bit & 63);
+    newly_set |= ~block.words[bit >> 6] & mask;
+    block.words[bit >> 6] |= mask;
     h1 += h2;
   }
+  // Count only inserts that logically add a key: if every bit was already
+  // set the key was indistinguishable from present (a duplicate, or a key
+  // the filter already can't reject), so n — the key count TheoreticalFpRate
+  // and the cost model divide by — stays an (approximate) distinct count.
+  num_inserted_ += newly_set != 0 ? 1 : 0;
 }
 
 bool BloomFilter::MayContain(uint64_t hash) const {

@@ -16,7 +16,8 @@ namespace bqo {
 class BloomFilter final : public BitvectorFilter {
  public:
   /// \param expected_keys sizing hint (filter does not grow)
-  /// \param bits_per_key  space budget; k = max(1, round(0.693 * bits_per_key))
+  /// \param bits_per_key  space budget; k = round(0.693 * bits_per_key)
+  ///                      clamped to [1, 4] (see bloom_filter.cc for why)
   BloomFilter(int64_t expected_keys, double bits_per_key);
 
   void Insert(uint64_t hash) override;
@@ -28,6 +29,10 @@ class BloomFilter final : public BitvectorFilter {
   int64_t SizeBytes() const override {
     return static_cast<int64_t>(blocks_.size() * sizeof(Block));
   }
+  /// Keys logically added (see BitvectorFilter::NumInserted): an insert
+  /// whose k bits were all already set — a duplicate, or a key the filter
+  /// already couldn't reject — doesn't count, so this approximates the
+  /// distinct-key n that TheoreticalFpRate() divides by.
   int64_t NumInserted() const override { return num_inserted_; }
 
   int num_probes() const { return k_; }

@@ -10,10 +10,11 @@ CuckooFilter::CuckooFilter(int64_t expected_keys, int fingerprint_bits)
     : BitvectorFilter(FilterKind::kCuckoo) {
   BQO_CHECK(fingerprint_bits >= 4 && fingerprint_bits <= 16);
   fp_mask_ = static_cast<uint16_t>((uint32_t{1} << fingerprint_bits) - 1);
-  // Target ~87.5% max load: buckets = keys / (4 * 0.875), rounded to pow2.
+  // Target <= 87.5% load: buckets = ceil(keys / (4 * 0.875)) = ceil(keys /
+  // 3.5), rounded up to a power of two (the rounding only lowers the load).
   const uint64_t want =
       static_cast<uint64_t>(expected_keys < 16 ? 16 : expected_keys);
-  const uint64_t num_buckets = NextPow2((want + 2) / 3);
+  const uint64_t num_buckets = NextPow2((want * 2 + 6) / 7);
   slots_.assign(num_buckets * kBucketSize, 0);
   bucket_mask_ = num_buckets - 1;
 }
@@ -53,13 +54,18 @@ bool CuckooFilter::TryInsertAt(uint64_t bucket, uint16_t fp) {
 }
 
 void CuckooFilter::Insert(uint64_t hash) {
-  ++num_inserted_;
+  // num_inserted_ counts only inserts that logically add a key: after
+  // overflow the filter already admits everything, and a (fingerprint,
+  // bucket)-duplicate is indistinguishable from a key that is present.
   if (overflowed_) return;
   const uint16_t fp = FingerprintOf(hash);
   const uint64_t i1 = IndexOf(hash);
   const uint64_t i2 = AltIndex(i1, fp);
   if (BucketContains(i1, fp) || BucketContains(i2, fp)) return;
-  if (TryInsertAt(i1, fp) || TryInsertAt(i2, fp)) return;
+  if (TryInsertAt(i1, fp) || TryInsertAt(i2, fp)) {
+    ++num_inserted_;
+    return;
+  }
 
   // Displace: evict a deterministic-pseudo-random victim and relocate.
   uint64_t bucket = (kick_state_ & 1) ? i2 : i1;
@@ -70,9 +76,13 @@ void CuckooFilter::Insert(uint64_t hash) {
     const size_t victim = base + (kick_state_ % kBucketSize);
     std::swap(cur, slots_[victim]);
     bucket = AltIndex(bucket, cur);
-    if (TryInsertAt(bucket, cur)) return;
+    if (TryInsertAt(bucket, cur)) {
+      ++num_inserted_;
+      return;
+    }
   }
   overflowed_ = true;  // MayContain now admits everything; still sound.
+  ++num_inserted_;     // the triggering key is admitted (as is everything)
 }
 
 bool CuckooFilter::MayContain(uint64_t hash) const {

@@ -23,6 +23,8 @@ class CuckooFilter final : public BitvectorFilter {
   int64_t SizeBytes() const override {
     return static_cast<int64_t>(slots_.size() * sizeof(uint16_t));
   }
+  /// Keys logically added (see BitvectorFilter::NumInserted): duplicate
+  /// (fingerprint, bucket) pairs and inserts after overflow don't count.
   int64_t NumInserted() const override { return num_inserted_; }
 
   /// \brief True if an insert overflowed; the filter then admits everything

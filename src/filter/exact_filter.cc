@@ -16,7 +16,6 @@ ExactFilter::ExactFilter(int64_t expected_keys)
 }
 
 void ExactFilter::Insert(uint64_t hash) {
-  ++num_inserted_;
   if (hash == 0) {
     if (!has_zero_) {
       has_zero_ = true;

@@ -27,7 +27,9 @@ class ExactFilter final : public BitvectorFilter {
   int64_t SizeBytes() const override {
     return static_cast<int64_t>(slots_.size() * sizeof(uint64_t));
   }
-  int64_t NumInserted() const override { return num_inserted_; }
+  /// Keys logically added (see BitvectorFilter::NumInserted): exactly the
+  /// distinct hashes inserted — duplicate Insert calls don't count.
+  int64_t NumInserted() const override { return num_keys_; }
 
  private:
   void Grow();
@@ -35,8 +37,7 @@ class ExactFilter final : public BitvectorFilter {
   // 0 is the empty-slot sentinel; a genuine hash of 0 is tracked separately.
   std::vector<uint64_t> slots_;
   uint64_t mask_ = 0;
-  int64_t num_keys_ = 0;     // distinct slots occupied
-  int64_t num_inserted_ = 0; // total Insert calls
+  int64_t num_keys_ = 0;     // distinct keys inserted (incl. the zero hash)
   bool has_zero_ = false;
 };
 

@@ -28,6 +28,10 @@ struct RunOptions {
   /// averages ten warm runs; min-of-k is the low-variance equivalent).
   int repeats = 2;
   OptimizerOptions optimizer;
+  /// Execution knobs, including execution.exec.threads: scans run
+  /// morsel-parallel when > 1 (exec_config.h). Merged filter stats are
+  /// thread-count-invariant, so used_bitvectors and per-query lambdas below
+  /// stay exact either way.
   ExecutionOptions execution;
   /// Run only the first `limit` queries (0 = all); smoke tests use this.
   size_t limit = 0;

@@ -56,6 +56,10 @@ TEST(ExactFilter, DuplicateInsertIdempotent) {
   filter.Insert(123);
   filter.Insert(123);
   EXPECT_TRUE(filter.MayContain(123));
+  // NumInserted counts keys logically added, so duplicates don't count.
+  EXPECT_EQ(filter.NumInserted(), 1);
+  filter.Insert(0);
+  filter.Insert(0);
   EXPECT_EQ(filter.NumInserted(), 2);
 }
 
@@ -81,7 +85,15 @@ TEST_P(FilterPropertyTest, NoFalseNegatives) {
   for (uint64_t k : keys) {
     ASSERT_TRUE(filter->MayContain(k)) << FilterKindName(param.kind);
   }
-  EXPECT_EQ(filter->NumInserted(), param.n);
+  // NumInserted counts keys logically added. The keys are distinct random
+  // hashes, so the exact filter counts all of them; the approximate kinds
+  // may fold a small fraction (<~2%, their FP rate) into existing entries.
+  EXPECT_LE(filter->NumInserted(), param.n);
+  if (param.kind == FilterKind::kExact) {
+    EXPECT_EQ(filter->NumInserted(), param.n);
+  } else {
+    EXPECT_GE(filter->NumInserted(), param.n - param.n / 50);
+  }
   EXPECT_GT(filter->SizeBytes(), 0);
 }
 
@@ -162,6 +174,64 @@ TEST(CuckooFilter, LowFpRateAt12Bits) {
     if (inserted.count(h) == 0 && filter.MayContain(h)) ++fp;
   }
   EXPECT_LT(static_cast<double>(fp) / probes, 0.01);
+}
+
+TEST(BloomFilter, HashCountClampedToAtLeastOne) {
+  // bits_per_key = 1.0 rounds 0.693 up to k = 1; the clamp guarantees k >= 1
+  // so the filter always sets at least one bit and can reject something.
+  BloomFilter low(10000, 1.0);
+  EXPECT_EQ(low.num_probes(), 1);
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) low.Insert(rng.Next());
+  int rejected = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (!low.MayContain(rng.Next())) ++rejected;
+  }
+  EXPECT_GT(rejected, 0);  // k = 0 would admit everything
+  // And the CPU-side cap: 10 bits/key rounds to 7 probes, clamped to 4.
+  BloomFilter high(10000, 10.0);
+  EXPECT_EQ(high.num_probes(), 4);
+}
+
+TEST(CuckooFilter, SizedForTargetLoadFactor) {
+  // The constructor promises buckets = ceil(keys / (4 * 0.875)) rounded up
+  // to a power of two: capacity at 87.5% load always covers the expected
+  // keys, and the pre-rounding bucket count is minimal for that target.
+  for (const int64_t n : {16LL, 100LL, 5000LL, 100000LL, 114688LL}) {
+    CuckooFilter filter(n, 12);
+    const int64_t slots = filter.SizeBytes() / static_cast<int64_t>(sizeof(uint16_t));
+    EXPECT_GE(static_cast<double>(slots) * 0.875, static_cast<double>(n))
+        << "n=" << n;
+    // Pow2 minimality: half the buckets would exceed the 87.5% target.
+    const int64_t half_slots = slots / 2;
+    EXPECT_LT(static_cast<double>(half_slots) * 0.875,
+              static_cast<double>(n < 16 ? 16 : n) + 4.0 * 0.875)
+        << "n=" << n;
+  }
+  // At the worst case the sizing permits (exactly 87.5% load after pow2
+  // rounding: 114688 = 3.5 * 32768 keys), inserts must still all land.
+  CuckooFilter tight(114688, 12);
+  Rng rng(29);
+  for (int64_t i = 0; i < 114688; ++i) tight.Insert(rng.Next());
+  EXPECT_FALSE(tight.overflowed());
+}
+
+TEST(CuckooFilter, NumInsertedStopsAtOverflow) {
+  CuckooFilter filter(16, 8);
+  Rng rng(31);
+  int64_t last = -1;
+  for (int i = 0; i < 5000; ++i) {
+    filter.Insert(rng.Next());
+    if (filter.overflowed() && last < 0) last = filter.NumInserted();
+  }
+  ASSERT_TRUE(filter.overflowed());
+  // Inserts after overflow add nothing (everything already passes), so the
+  // count must have frozen the moment the filter overflowed.
+  EXPECT_EQ(filter.NumInserted(), last);
+  // And it can't exceed what the slots could hold (+1 for the key whose
+  // failed displacement triggered the overflow).
+  EXPECT_LE(filter.NumInserted(),
+            filter.SizeBytes() / static_cast<int64_t>(sizeof(uint16_t)) + 1);
 }
 
 TEST(CuckooFilter, OverflowDegradesSafely) {
