@@ -162,17 +162,23 @@ int main() {
                      FilterKindName(kind), threads);
         return 1;
       }
+      // `valid` marks whether the speedup is a meaningful scaling datum:
+      // with fewer hardware threads than workers (worst case a single-core
+      // container) flat speedups are indistinguishable from a regression,
+      // so trajectory tooling must skip those lines rather than alarm.
       std::printf(
           "{\"bench\":\"parallel_scan\",\"kind\":\"%s\",\"threads\":%d,"
-          "\"hw_threads\":%d,\"rows\":%lld,\"rows_out\":%lld,"
-          "\"wall_ms\":%.2f,\"mrows_per_s\":%.1f,\"speedup_vs_1\":%.2f}\n",
+          "\"hardware_concurrency\":%d,\"rows\":%lld,\"rows_out\":%lld,"
+          "\"wall_ms\":%.2f,\"mrows_per_s\":%.1f,\"speedup_vs_1\":%.2f,"
+          "\"valid\":%s}\n",
           FilterKindName(kind), threads, hw.ResolvedThreads(),
           static_cast<long long>(rows),
           static_cast<long long>(best.rows_out),
           static_cast<double>(best.wall_ns) / 1e6,
           static_cast<double>(rows) * 1e3 /
               static_cast<double>(best.wall_ns),
-          base_ns / static_cast<double>(best.wall_ns));
+          base_ns / static_cast<double>(best.wall_ns),
+          threads <= hw.ResolvedThreads() ? "true" : "false");
     }
   }
   return 0;

@@ -5,12 +5,15 @@
 
 namespace bqo {
 
-ExchangeOperator::ExchangeOperator(std::unique_ptr<ScanOperator> child,
+ExchangeOperator::ExchangeOperator(std::unique_ptr<PhysicalOperator> child,
                                    ExecConfig config, std::string label)
     : child_(std::move(child)), config_(config) {
   schema_ = child_->output_schema();
   stats_.type = OperatorType::kExchange;
   stats_.label = std::move(label);
+  pipe_ = BuildProbePipeline(child_.get());
+  BQO_CHECK_MSG(pipe_.parallel(),
+                "exchange child must be a parallelizable pipeline");
   BQO_CHECK_GT(config_.ResolvedThreads(), 1);
 }
 
@@ -21,19 +24,22 @@ ExchangeOperator::~ExchangeOperator() {
 
 void ExchangeOperator::Open() {
   TimerGuard timer(&stats_);
+  // Opening the child runs every hash-join build below (wide themselves
+  // when their build pipelines parallelize) and resolves the scan's
+  // pushed-down filters; only then can worker scratch be sized.
   child_->Open();
-  child_->set_morsel_rows(static_cast<size_t>(config_.morsel_rows));
+  pipe_.source->set_morsel_rows(static_cast<size_t>(config_.morsel_rows));
 
   const int num_workers = config_.ResolvedThreads();
+  stats_.parallel_workers = num_workers;
   capacity_ = static_cast<size_t>(config_.ResolvedQueueBatches());
   abort_ = false;
   active_producers_ = num_workers;
   ready_.clear();
   recycled_.clear();
 
-  workers_.assign(static_cast<size_t>(num_workers),
-                  ScanOperator::WorkerState{});
-  for (auto& ws : workers_) child_->InitWorkerState(&ws);
+  workers_.assign(static_cast<size_t>(num_workers), PipelineWorkerState{});
+  for (auto& ws : workers_) InitPipelineWorker(pipe_, &ws);
   threads_.reserve(static_cast<size_t>(num_workers));
   for (int i = 0; i < num_workers; ++i) {
     threads_.emplace_back(&ExchangeOperator::WorkerMain, this, i);
@@ -41,8 +47,7 @@ void ExchangeOperator::Open() {
 }
 
 void ExchangeOperator::WorkerMain(int worker_index) {
-  ScanOperator::WorkerState& ws =
-      workers_[static_cast<size_t>(worker_index)];
+  PipelineWorkerState& ws = workers_[static_cast<size_t>(worker_index)];
   Batch batch;
   for (;;) {
     {
@@ -54,10 +59,12 @@ void ExchangeOperator::WorkerMain(int worker_index) {
       }
     }
     const auto start = std::chrono::steady_clock::now();
-    const bool produced = child_->ParallelNext(&batch, &ws);
-    ws.busy_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
-                      std::chrono::steady_clock::now() - start)
-                      .count();
+    const bool produced = PipelineParallelNext(pipe_, &batch, &ws);
+    // Whole-pipeline worker time accumulates on the source scan's counter
+    // (see metrics.h on CPU-vs-wall attribution under parallelism).
+    ws.scan.busy_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
     if (!produced) break;
 
     std::unique_lock<std::mutex> lock(mu_);
@@ -103,7 +110,7 @@ void ExchangeOperator::Shutdown() {
   }
   for (std::thread& t : threads_) t.join();
   threads_.clear();
-  for (auto& ws : workers_) child_->MergeWorkerStats(&ws);
+  for (auto& ws : workers_) MergePipelineWorkerStats(pipe_, &ws);
   workers_.clear();
   ready_.clear();
   recycled_.clear();

@@ -1,18 +1,26 @@
-// ExchangeOperator: morsel-parallel scan draining behind a Volcano facade.
+// ExchangeOperator: morsel-parallel pipeline draining behind a Volcano
+// facade.
 //
-// Open() spawns N workers that pull morsels from the wrapped ScanOperator's
-// shared cursor (scan.h) and push filled batches into a bounded queue;
-// Next() pops batches for the single-threaded plan above. The operators
-// above an exchange never see a thread — parallelism stops at the queue.
+// The wrapped child is any parallelizable probe pipeline (pipeline.h): a
+// bare scan, or a scan -> probe -> ... -> probe chain of hash joins. Open()
+// first opens the child — which runs every hash-join build below, itself
+// wide — then spawns N workers that pull scan morsels off the shared cursor,
+// stream them through the whole probe chain thread-locally, and push the
+// resulting batches into a bounded queue; Next() pops batches for the
+// single-threaded consumer above (the aggregate). Parallelism therefore
+// stops at the plan's final breaker, not at the leaves: the executor
+// compiles exactly one exchange, directly below the aggregate, when the
+// topmost pipeline is parallelizable (executor.cc).
 //
 // Stats discipline: workers accumulate FilterStats/OperatorStats deltas in
-// their private WorkerState; Close() joins every worker and merges the
-// deltas into the shared FilterRuntime exactly once, so the merged
-// probed/passed counts equal the single-threaded run's (the observed-lambda
-// numbers of Section 6.3 stay exact under parallelism). Batch order in the
-// queue is nondeterministic, but every consumer above (joins, aggregates,
-// the result checksum) is order-independent, so query results are
-// byte-identical to threads=1.
+// their private PipelineWorkerState (scan scratch + per-join ProbeStates);
+// Close() joins every worker and merges the deltas into the shared counters
+// exactly once, so the merged probed/passed counts — at the scan's
+// pushed-down filters and at every join's residual filters — equal the
+// single-threaded run's (the observed-lambda numbers of Section 6.3 stay
+// exact under parallelism). Batch order in the queue is nondeterministic,
+// but the consumers above (aggregate, result checksum) are
+// order-independent, so query results are identical to threads=1.
 #pragma once
 
 #include <condition_variable>
@@ -23,13 +31,16 @@
 #include <vector>
 
 #include "src/exec/exec_config.h"
-#include "src/exec/scan.h"
+#include "src/exec/pipeline.h"
 
 namespace bqo {
 
 class ExchangeOperator final : public PhysicalOperator {
  public:
-  ExchangeOperator(std::unique_ptr<ScanOperator> child, ExecConfig config,
+  /// `child` must decompose into a parallelizable pipeline
+  /// (BuildProbePipeline(child).parallel()) and `config` must resolve to
+  /// more than one thread.
+  ExchangeOperator(std::unique_ptr<PhysicalOperator> child, ExecConfig config,
                    std::string label);
   ~ExchangeOperator() override;
 
@@ -46,11 +57,12 @@ class ExchangeOperator final : public PhysicalOperator {
   /// Join workers and merge their stats; idempotent.
   void Shutdown();
 
-  std::unique_ptr<ScanOperator> child_;
+  std::unique_ptr<PhysicalOperator> child_;
+  Pipeline pipe_;  ///< decomposition of child_ (source + probe stages)
   ExecConfig config_;
 
   std::vector<std::thread> threads_;
-  std::vector<ScanOperator::WorkerState> workers_;
+  std::vector<PipelineWorkerState> workers_;
 
   // Bounded MPSC queue. `ready_` holds produced batches; `recycled_` holds
   // consumed batches whose flat storage workers reuse, so steady-state

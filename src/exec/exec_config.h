@@ -1,14 +1,16 @@
 // Execution-engine configuration: the knobs that select between the
-// single-threaded Volcano pipeline and morsel-parallel scan draining.
+// single-threaded Volcano pipeline and morsel-parallel pipeline execution.
 //
-// Threading model: only scans go wide. The selection vector a scan computes
-// at Open() is split into fixed-size morsels claimed off an atomic cursor;
-// each worker runs the scan's hash -> MayContainBatch -> gather pipeline
-// into thread-local batches and hands them to the single-threaded plan
-// above through a bounded queue (src/exec/exchange.h). Bitvector filters
-// are read-only once built, so probing needs no locks; the mutable counters
-// (FilterStats, OperatorStats) are accumulated per worker and merged once
-// at Close() so observed-selectivity numbers stay exact (see metrics.h).
+// Threading model: whole pipelines go wide (src/exec/pipeline.h). The
+// selection vector a scan computes at Open() is split into fixed-size
+// morsels claimed off an atomic cursor; each worker runs the full
+// hash -> MayContainBatch -> gather -> join-probe chain thread-locally.
+// Hash-join builds drain their build pipeline with N workers reassembled
+// in canonical order, and the topmost probe chain feeds the aggregate
+// through a bounded queue (src/exec/exchange.h). Bitvector filters and
+// join tables are read-only once built, so probing needs no locks; the
+// mutable counters (FilterStats, OperatorStats) are accumulated per worker
+// and merged once so observed-selectivity numbers stay exact (metrics.h).
 #pragma once
 
 #include <cstdlib>
@@ -17,9 +19,10 @@
 namespace bqo {
 
 struct ExecConfig {
-  /// Scan worker threads. 1 = today's single-threaded operator pipeline,
+  /// Pipeline worker threads. 1 = the single-threaded operator pipeline,
   /// bit-for-bit (no exchange operator is compiled in). 0 = one worker per
-  /// hardware thread. >1 = that many workers per scan.
+  /// hardware thread. >1 = that many workers per pipeline (build drains and
+  /// the top exchange alike).
   int threads = 1;
 
   /// Rows of a scan's selection vector claimed per atomic cursor bump.
@@ -27,8 +30,8 @@ struct ExecConfig {
   /// within a few morsels of each other at the tail.
   int morsel_rows = 16384;
 
-  /// Bounded-queue depth (in batches) between scan workers and the
-  /// consuming plan. 0 = 2 batches per worker.
+  /// Bounded-queue depth (in batches) between the exchange's pipeline
+  /// workers and the consuming aggregate. 0 = 2 batches per worker.
   int queue_batches = 0;
 
   int ResolvedThreads() const {

@@ -7,6 +7,7 @@
 #include "src/exec/exchange.h"
 #include "src/exec/hash_join.h"
 #include "src/exec/merge_join.h"
+#include "src/exec/pipeline.h"
 #include "src/exec/scan.h"
 
 namespace bqo {
@@ -73,15 +74,10 @@ std::unique_ptr<PhysicalOperator> CompileNode(
         rel.table, rel.predicate, OutputSchema(std::move(required)),
         std::move(filters), runtime, "scan " + rel.alias);
     op->stats().plan_node_id = node.id;
-    // Morsel-parallel scans: threads > 1 drains the scan through an
-    // exchange; threads == 1 keeps the scan inline (today's plan shape,
-    // bit-for-bit).
-    if (options.exec.ResolvedThreads() > 1) {
-      auto exchange = std::make_unique<ExchangeOperator>(
-          std::move(op), options.exec, "xchg " + rel.alias);
-      exchange->stats().plan_node_id = node.id;
-      return exchange;
-    }
+    // Leaves compile bare at every thread count: parallelism is applied per
+    // *pipeline*, not per leaf — a build-side scan is drained wide by the
+    // hash join above it, and the topmost probe chain by the single
+    // exchange CompilePlan inserts below the aggregate.
     return op;
   }
 
@@ -118,6 +114,7 @@ std::unique_ptr<PhysicalOperator> CompileNode(
 
   HashJoinOperator::Config config;
   config.filter_config = options.filter_config;
+  config.exec = options.exec;
   for (size_t i = 0; i < keys.build.size(); ++i) {
     const int bpos = build_op->output_schema().PositionOf(keys.build[i]);
     const int ppos = probe_op->output_schema().PositionOf(keys.probe[i]);
@@ -185,7 +182,8 @@ void CollectStats(PhysicalOperator* op, QueryMetrics* metrics) {
       metrics->other_tuples += stats.rows_out;
       break;
     case OperatorType::kExchange:
-      // Pass-through; its scan child already contributed to leaf_tuples.
+      // Pass-through; the pipeline below it already contributed its rows
+      // to the per-type counts.
       break;
   }
   metrics->operators.push_back(std::move(stats));
@@ -213,6 +211,17 @@ std::unique_ptr<AggregateOperator> CompilePlan(
   }
   auto root =
       CompileNode(plan, *plan.root, std::move(required), runtime, options);
+  // Pipeline-parallel execution: one exchange directly below the aggregate
+  // drains the topmost probe pipeline (scan -> probe -> ... -> probe) with
+  // N workers; hash-join builds below parallelize inside their own Open().
+  // threads == 1 compiles the exact single-threaded plan, bit-for-bit.
+  if (options.exec.ResolvedThreads() > 1 &&
+      BuildProbePipeline(root.get()).parallel()) {
+    auto exchange = std::make_unique<ExchangeOperator>(
+        std::move(root), options.exec, "xchg pipeline");
+    exchange->stats().plan_node_id = plan.root->id;
+    root = std::move(exchange);
+  }
   return std::make_unique<AggregateOperator>(std::move(root), options.agg);
 }
 

@@ -4,6 +4,27 @@
 // The same Plan object that was costed is executed; filter slots are shared
 // through a FilterRuntime so a filter created at one hash join is probed at
 // the operator Algorithm 1 pushed it to.
+//
+// == Pipeline-parallel execution ==
+//
+// With exec.threads > 1 the compiled tree executes as a schedule of
+// morsel-parallel pipelines (pipeline.h) separated by its breakers (hash-
+// join builds, sort-merge materializations, the aggregate):
+//
+//  * Each hash join's Open() drains its build-side pipeline with N workers
+//    into canonical-order partitions reassembled into the bucket-chained
+//    table, and creates its bitvector filter from per-worker partials
+//    combined through BitvectorFilter::MergeFrom (FillFilterParallel).
+//  * The topmost probe chain (scan -> probe -> ... -> probe) runs wide
+//    behind a single ExchangeOperator compiled directly below the
+//    aggregate — parallelism stops at the final breaker, not at the leaves.
+//
+// The recursive Open() order still realizes Algorithm 1's filter-dependency
+// order: every build pipeline (and the filter it creates) completes before
+// the probe pipeline that consumes the filter starts. threads == 1 compiles
+// the exact single-threaded plan; at any thread count the merged
+// probed/passed/ObservedLambda counters equal the single-threaded counts
+// (per-worker accumulate, merge-once — see metrics.h).
 #pragma once
 
 #include <memory>
@@ -18,9 +39,10 @@ namespace bqo {
 struct ExecutionOptions {
   /// Filter implementation used for created bitvector filters.
   FilterConfig filter_config;
-  /// Threading knobs. exec.threads > 1 compiles every scan behind an
-  /// ExchangeOperator (morsel-parallel draining, exchange.h); threads == 1
-  /// compiles exactly the pre-exchange single-threaded plan.
+  /// Threading knobs. exec.threads > 1 executes the plan pipeline-parallel:
+  /// hash-join builds drain wide, and the topmost probe chain runs behind a
+  /// single ExchangeOperator below the aggregate (exchange.h, pipeline.h);
+  /// threads == 1 compiles exactly the single-threaded plan.
   ExecConfig exec;
   /// When false, no bitvector filters are created or probed (the paper's
   /// Appendix A / Table 4 comparison: same plan, filters ignored).

@@ -1,7 +1,11 @@
 #include "src/exec/hash_join.h"
 
+#include <algorithm>
+
 #include "src/common/bit_util.h"
 #include "src/common/hash.h"
+#include "src/exec/pipeline.h"
+#include "src/filter/bloom_filter.h"
 
 namespace bqo {
 
@@ -25,7 +29,7 @@ HashJoinOperator::HashJoinOperator(std::unique_ptr<PhysicalOperator> build,
   // A residual filter whose key columns are exactly this join's equi-join
   // keys (in order, sourced from either side — the sides agree on every
   // matched row) hashes to the probe-row hash already computed by
-  // HashProbeBatch; flag those so EmitRow can skip the recomputation.
+  // HashProbeBatch; flag those so WinnowResiduals can skip the recompute.
   residual_uses_probe_hash_.reserve(config_.residual_filters.size());
   const size_t nkeys = config_.build_key_positions.size();
   for (const ResolvedFilter& rf : config_.residual_filters) {
@@ -41,44 +45,85 @@ HashJoinOperator::HashJoinOperator(std::unique_ptr<PhysicalOperator> build,
   }
 }
 
-void HashJoinOperator::Open() {
-  TimerGuard timer(&stats_);
-
-  // ---- Build phase: batched key hashing, row-major materialization ----
-  build_->Open();
+void HashJoinOperator::DrainBuild() {
+  const Pipeline build_pipe = BuildProbePipeline(build_.get());
+  const int workers = config_.exec.ResolvedThreads();
+  if (workers > 1 && build_pipe.parallel()) {
+    build_rows_ = DrainPipelineParallel(build_pipe, config_.exec);
+    stats_.parallel_workers = workers;
+    return;
+  }
   Batch batch;
-  const size_t nkeys = config_.build_key_positions.size();
-  probe_hashes_.resize(kBatchSize);
   while (build_->Next(&batch)) {
     const int n = batch.num_rows;
-    const int64_t* key_cols[8];
-    for (size_t k = 0; k < nkeys; ++k) {
-      key_cols[k] = batch.col(config_.build_key_positions[k]);
-    }
-    if (nkeys == 1) {
-      HashColumn(key_cols[0], n, probe_hashes_.data());
-    } else {
-      HashCompositeBatch(key_cols, nkeys, n, probe_hashes_.data());
-    }
     for (int r = 0; r < n; ++r) {
-      const int32_t row_start = static_cast<int32_t>(build_rows_.size());
       for (int c = 0; c < build_width_; ++c) {
         build_rows_.push_back(batch.col(c)[r]);
       }
-      entries_.push_back(
-          Entry{probe_hashes_[static_cast<size_t>(r)], -1, row_start});
     }
   }
+}
+
+void HashJoinOperator::HashBuildRows(std::vector<uint64_t>* hashes) const {
+  const size_t nkeys = config_.build_key_positions.size();
+  const size_t width = static_cast<size_t>(build_width_);
+  const int64_t num_rows =
+      width == 0 ? 0 : static_cast<int64_t>(build_rows_.size() / width);
+  hashes->resize(static_cast<size_t>(num_rows));
+  std::vector<int64_t> keybuf(nkeys * kBatchSize);
+  const int64_t* cols[8];
+  for (int64_t base = 0; base < num_rows; base += kBatchSize) {
+    const int n = static_cast<int>(
+        std::min<int64_t>(kBatchSize, num_rows - base));
+    for (size_t k = 0; k < nkeys; ++k) {
+      int64_t* dst = keybuf.data() + k * kBatchSize;
+      const size_t pos =
+          static_cast<size_t>(config_.build_key_positions[k]);
+      for (int i = 0; i < n; ++i) {
+        dst[i] = build_rows_[(static_cast<size_t>(base) +
+                              static_cast<size_t>(i)) *
+                                 width +
+                             pos];
+      }
+      cols[k] = dst;
+    }
+    uint64_t* out = hashes->data() + base;
+    if (nkeys == 1) {
+      HashColumn(cols[0], n, out);
+    } else {
+      HashCompositeBatch(cols, nkeys, n, out);
+    }
+  }
+}
+
+void HashJoinOperator::Open() {
+  TimerGuard timer(&stats_);
+
+  // ---- Build phase: drain (wide when possible), hash, filter, bucketize.
+  build_->Open();
+  DrainBuild();
   build_->Close();
 
-  // Create this join's bitvector filter, sized exactly to the build side
-  // (the entries already carry the composite-key hashes).
+  std::vector<uint64_t> hashes;
+  HashBuildRows(&hashes);
+  entries_.reserve(hashes.size());
+  for (size_t r = 0; r < hashes.size(); ++r) {
+    entries_.push_back(Entry{
+        hashes[r], -1,
+        static_cast<int32_t>(r * static_cast<size_t>(build_width_))});
+  }
+
+  // Create this join's bitvector filter, sized exactly to the build side.
+  // The hashes are in canonical (single-threaded) order, so the sequential
+  // and per-worker-partial fill strategies both reproduce the
+  // single-threaded filter (see FillFilterParallel).
   if (config_.creates_filter_id >= 0) {
     auto& slot =
         runtime_->slots[static_cast<size_t>(config_.creates_filter_id)];
     slot = CreateFilter(config_.filter_config,
-                        static_cast<int64_t>(entries_.size()));
-    for (const Entry& e : entries_) slot->Insert(e.hash);
+                        static_cast<int64_t>(hashes.size()));
+    FillFilterParallel(slot.get(), config_.filter_config, hashes.data(),
+                       static_cast<int64_t>(hashes.size()), config_.exec);
     FilterStats& fs =
         runtime_->stats[static_cast<size_t>(config_.creates_filter_id)];
     fs.created = true;
@@ -99,19 +144,32 @@ void HashJoinOperator::Open() {
 
   // ---- Probe side opens only after the filter exists ----
   probe_->Open();
-  probe_cursor_ = 0;
-  pending_entry_ = -1;
-  probe_exhausted_ = false;
+  local_probe_ = ProbeState{};
+  InitProbeState(&local_probe_);
 }
 
-void HashJoinOperator::HashProbeBatch() {
-  const int n = probe_batch_.num_rows;
+void HashJoinOperator::InitProbeState(ProbeState* ps) const {
+  ps->hashes.resize(kBatchSize);
+  ps->cand_build.resize(kBatchSize);
+  ps->cand_probe.resize(kBatchSize);
+  ps->cand_hash.resize(kBatchSize);
+  ps->sel.resize(kBatchSize);
+  ps->rhashes.resize(kBatchSize);
+  ps->rkeys.resize(size_t{8} * kBatchSize);
+  ps->residual_stats.assign(config_.residual_filters.size(), FilterStats{});
+  ps->cursor = 0;
+  ps->pending_entry = -1;
+  ps->input_done = false;
+}
+
+void HashJoinOperator::HashProbeBatch(ProbeState* ps) const {
+  const int n = ps->in.num_rows;
   const size_t nkeys = config_.probe_key_positions.size();
   const int64_t* key_cols[8];
   for (size_t k = 0; k < nkeys; ++k) {
-    key_cols[k] = probe_batch_.col(config_.probe_key_positions[k]);
+    key_cols[k] = ps->in.col(config_.probe_key_positions[k]);
   }
-  uint64_t* hashes = probe_hashes_.data();
+  uint64_t* hashes = ps->hashes.data();
   if (nkeys == 1) {
     HashColumn(key_cols[0], n, hashes);
   } else {
@@ -138,97 +196,186 @@ bool HashJoinOperator::KeysEqual(const Entry& entry, const Batch& batch,
   return true;
 }
 
-bool HashJoinOperator::EmitRow(const Batch& probe_batch, int probe_row,
-                               uint64_t probe_hash, int32_t build_row,
-                               Batch* out) {
-  ++stats_.rows_prefilter;
+int HashJoinOperator::WinnowResiduals(ProbeState* ps, int ncand) {
+  uint16_t* sel = ps->sel.data();
+  for (int i = 0; i < ncand; ++i) sel[i] = static_cast<uint16_t>(i);
+  int m = ncand;
 
-  // Residual filters (Algorithm 1 lines 24-29) evaluate on the joined row.
-  for (size_t i = 0; i < config_.residual_filters.size(); ++i) {
-    const ResolvedFilter& rf = config_.residual_filters[i];
-    BitvectorFilter* filter =
+  // Residual filters (Algorithm 1 lines 24-29) evaluate on the joined row,
+  // batched: each filter hashes the still-selected candidates' keys in one
+  // pass and compacts the selection through MayContainBatch (prefetched
+  // probes). The winnow order preserves the row-at-a-time early exit: a
+  // candidate rejected by filter f is never probed against filter f+1.
+  for (size_t f = 0; f < config_.residual_filters.size() && m > 0; ++f) {
+    const ResolvedFilter& rf = config_.residual_filters[f];
+    const BitvectorFilter* filter =
         runtime_->slots[static_cast<size_t>(rf.filter_id)].get();
     if (filter == nullptr) continue;
-    uint64_t hash;
-    if (residual_uses_probe_hash_[i]) {
-      hash = probe_hash;
+    const uint64_t* hashes;
+    if (residual_uses_probe_hash_[f]) {
+      // The join-key probe hash doubles as this filter's composite hash and
+      // is already position-aligned with the candidates.
+      hashes = ps->cand_hash.data();
     } else {
-      int64_t key[8];
       const size_t nkeys = rf.key_positions.size();
-      for (size_t k = 0; k < nkeys; ++k) {
-        const auto& src =
-            config_.output_sources[static_cast<size_t>(rf.key_positions[k])];
-        key[k] = src.first
-                     ? build_rows_[static_cast<size_t>(build_row) +
-                                   static_cast<size_t>(src.second)]
-                     : probe_batch.col(src.second)[probe_row];
+      uint64_t* rhashes = ps->rhashes.data();
+      if (m == ncand) {
+        // Dense fast path (first winnowing filter): gather the key columns
+        // candidate-contiguous and hash the whole stride batched.
+        const int64_t* cols[8];
+        for (size_t k = 0; k < nkeys; ++k) {
+          int64_t* dst = ps->rkeys.data() + k * kBatchSize;
+          const auto& src = config_.output_sources[static_cast<size_t>(
+              rf.key_positions[k])];
+          if (src.first) {
+            for (int i = 0; i < ncand; ++i) {
+              dst[i] = build_rows_[static_cast<size_t>(ps->cand_build[i]) +
+                                   static_cast<size_t>(src.second)];
+            }
+          } else {
+            const int64_t* col = ps->in.col(src.second);
+            for (int i = 0; i < ncand; ++i) dst[i] = col[ps->cand_probe[i]];
+          }
+          cols[k] = dst;
+        }
+        if (nkeys == 1) {
+          HashColumn(cols[0], ncand, rhashes);
+        } else {
+          HashCompositeBatch(cols, nkeys, ncand, rhashes);
+        }
+      } else {
+        for (int j = 0; j < m; ++j) {
+          const uint16_t pos = sel[j];
+          int64_t key[8];
+          for (size_t k = 0; k < nkeys; ++k) {
+            const auto& src = config_.output_sources[static_cast<size_t>(
+                rf.key_positions[k])];
+            key[k] =
+                src.first
+                    ? build_rows_[static_cast<size_t>(ps->cand_build[pos]) +
+                                  static_cast<size_t>(src.second)]
+                    : ps->in.col(src.second)[ps->cand_probe[pos]];
+          }
+          rhashes[pos] = HashComposite(key, nkeys);
+        }
       }
-      hash = HashComposite(key, nkeys);
+      hashes = rhashes;
     }
-    FilterStats& fs = runtime_->stats[static_cast<size_t>(rf.filter_id)];
-    ++fs.probed;
-    if (!filter->MayContain(hash)) return false;
-    ++fs.passed;
+    FilterStats& fs = ps->residual_stats[f];
+    fs.probed += m;
+    fs.probe_batches += 1;
+    m = FilterMayContainBatch(filter, hashes, sel, m);
+    fs.passed += m;
+  }
+  return m;
+}
+
+bool HashJoinOperator::ProbeNext(Batch* out, ProbeState* ps,
+                                 const NextInputFn& next_input) {
+  out->Reset(schema_.size());
+
+  while (!out->Full()) {
+    // ---- Collect candidate matches (hash + key equality, pre-residual) --
+    const int capacity = kBatchSize - out->num_rows;
+    int32_t* cand_build = ps->cand_build.data();
+    int32_t* cand_probe = ps->cand_probe.data();
+    uint64_t* cand_hash = ps->cand_hash.data();
+    int ncand = 0;
+    while (ncand < capacity) {
+      // Resume an in-progress duplicate chain.
+      if (ps->pending_entry >= 0) {
+        const int probe_row = ps->cursor - 1;
+        while (ps->pending_entry >= 0 && ncand < capacity) {
+          const Entry& e = entries_[static_cast<size_t>(ps->pending_entry)];
+          ps->pending_entry = e.next;
+          if (ps->pending_entry >= 0) {
+            __builtin_prefetch(
+                &entries_[static_cast<size_t>(ps->pending_entry)]);
+          }
+          // Compare the precomputed hashes before touching key columns: a
+          // chain mixes genuine duplicates with bucket collisions, and the
+          // hash test rejects collisions with one resident comparison.
+          if (e.hash == ps->pending_hash &&
+              KeysEqual(e, ps->in, probe_row)) {
+            cand_build[ncand] = e.row_start;
+            cand_probe[ncand] = probe_row;
+            cand_hash[ncand] = ps->pending_hash;
+            ++ncand;
+          }
+        }
+        if (ps->pending_entry >= 0) break;  // candidate stride full mid-chain
+        continue;
+      }
+
+      if (ps->cursor >= ps->in.num_rows) {
+        // Flush buffered candidates before replacing the input batch: they
+        // reference rows of the current one.
+        if (ncand > 0) break;
+        if (ps->input_done || !next_input(&ps->in)) {
+          ps->input_done = true;
+          break;
+        }
+        ps->cursor = 0;
+        HashProbeBatch(ps);
+        continue;
+      }
+
+      const int probe_row = ps->cursor++;
+      ps->pending_hash = ps->hashes[static_cast<size_t>(probe_row)];
+      ps->pending_entry = buckets_[ps->pending_hash & bucket_mask_];
+    }
+    if (ncand == 0) break;  // input exhausted with nothing buffered
+    ps->rows_prefilter += ncand;
+
+    const int m = WinnowResiduals(ps, ncand);
+
+    // ---- Materialize the survivors, appending to `out` ----
+    const uint16_t* sel = ps->sel.data();
+    for (size_t c = 0; c < config_.output_sources.size(); ++c) {
+      const auto& src = config_.output_sources[c];
+      int64_t* dst = out->col(static_cast<int>(c)) + out->num_rows;
+      if (src.first) {
+        for (int j = 0; j < m; ++j) {
+          dst[j] = build_rows_[static_cast<size_t>(cand_build[sel[j]]) +
+                               static_cast<size_t>(src.second)];
+        }
+      } else {
+        const int64_t* col = ps->in.col(src.second);
+        for (int j = 0; j < m; ++j) {
+          dst[j] = col[cand_probe[sel[j]]];
+        }
+      }
+    }
+    out->num_rows += m;
   }
 
-  for (size_t c = 0; c < config_.output_sources.size(); ++c) {
-    const auto& src = config_.output_sources[c];
-    const int64_t v =
-        src.first ? build_rows_[static_cast<size_t>(build_row) +
-                                static_cast<size_t>(src.second)]
-                  : probe_batch.col(src.second)[probe_row];
-    out->col(static_cast<int>(c))[out->num_rows] = v;
-  }
-  ++out->num_rows;
-  return true;
+  ps->rows_out += out->num_rows;
+  return out->num_rows > 0;
 }
 
 bool HashJoinOperator::Next(Batch* out) {
   TimerGuard timer(&stats_);
-  out->Reset(schema_.size());
+  return ProbeNext(out, &local_probe_,
+                   [this](Batch* in) { return probe_->Next(in); });
+}
 
-  while (!out->Full()) {
-    // Resume an in-progress duplicate chain.
-    if (pending_entry_ >= 0) {
-      const int probe_row = probe_cursor_ - 1;
-      while (pending_entry_ >= 0 && !out->Full()) {
-        const Entry& e = entries_[static_cast<size_t>(pending_entry_)];
-        pending_entry_ = e.next;
-        if (pending_entry_ >= 0) {
-          __builtin_prefetch(&entries_[static_cast<size_t>(pending_entry_)]);
-        }
-        // Compare the precomputed hashes before touching key columns: a
-        // chain mixes genuine duplicates with bucket collisions, and the
-        // hash test rejects collisions with one resident comparison.
-        if (e.hash == pending_hash_ &&
-            KeysEqual(e, probe_batch_, probe_row)) {
-          EmitRow(probe_batch_, probe_row, pending_hash_, e.row_start, out);
-        }
-      }
-      if (pending_entry_ >= 0) break;  // batch full mid-chain
-      continue;
-    }
-
-    if (probe_cursor_ >= probe_batch_.num_rows) {
-      if (probe_exhausted_ || !probe_->Next(&probe_batch_)) {
-        probe_exhausted_ = true;
-        break;
-      }
-      probe_cursor_ = 0;
-      HashProbeBatch();
-      continue;
-    }
-
-    const int probe_row = probe_cursor_++;
-    pending_hash_ = probe_hashes_[static_cast<size_t>(probe_row)];
-    pending_entry_ = buckets_[pending_hash_ & bucket_mask_];
+void HashJoinOperator::MergeProbeStats(ProbeState* ps) {
+  for (size_t f = 0; f < ps->residual_stats.size(); ++f) {
+    FilterStats* dst = &runtime_->stats[static_cast<size_t>(
+        config_.residual_filters[f].filter_id)];
+    dst->probed += ps->residual_stats[f].probed;
+    dst->passed += ps->residual_stats[f].passed;
+    dst->probe_batches += ps->residual_stats[f].probe_batches;
   }
-
-  stats_.rows_out += out->num_rows;
-  return out->num_rows > 0;
+  ps->residual_stats.clear();  // merged; a repeated Close() merges nothing
+  stats_.rows_prefilter += ps->rows_prefilter;
+  stats_.rows_out += ps->rows_out;
+  ps->rows_prefilter = 0;
+  ps->rows_out = 0;
 }
 
 void HashJoinOperator::Close() {
+  MergeProbeStats(&local_probe_);
   probe_->Close();
   buckets_.clear();
   entries_.clear();

@@ -1,15 +1,32 @@
 // Hash join with bitvector-filter creation (Algorithm 1, lines 8-10).
 //
-// Open() drains the build child into a bucket-chained hash table, creates
-// this join's bitvector filter (unless pruned/disabled), and only then opens
-// the probe child — establishing the top-down build order that makes every
-// pushed-down filter's contents available before the subtree it filters
-// starts producing tuples.
+// Open() is the pipeline breaker: it drains the build child — wide, when the
+// build side is a parallelizable pipeline and exec.threads > 1 (pipeline.h)
+// — into a bucket-chained hash table, creates this join's bitvector filter
+// (unless pruned/disabled), and only then opens the probe child. That order
+// realizes Algorithm 1's filter-dependency order: every pushed-down filter's
+// contents exist before the subtree it filters starts producing tuples.
+//
+// The probe side is re-entrant: all per-consumer iteration state (current
+// input batch, in-progress duplicate chain, residual-filter stats) lives in
+// a ProbeState, so after Open() many exchange workers can stream batches
+// through ProbeNext() concurrently against the read-only table. The
+// single-threaded Next() is the degenerate case — one local ProbeState —
+// so both paths execute the same code. Per-state counters merge into the
+// shared stats exactly once (MergeProbeStats), keeping probed/passed and
+// ObservedLambda equal to the single-threaded counts at any thread count.
+//
+// Residual filters (probe columns ≠ this join's equi-join keys) are probed
+// batched: matched rows buffer into a candidate stride, each residual
+// winnows a selection vector via MayContainBatch (hashing the stride's keys
+// in one pass), and only the survivors are materialized.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
+#include "src/exec/exec_config.h"
 #include "src/exec/operator.h"
 
 namespace bqo {
@@ -29,7 +46,43 @@ class HashJoinOperator final : public PhysicalOperator {
     /// the join's output schema.
     std::vector<ResolvedFilter> residual_filters;
     FilterConfig filter_config;
+    /// Threading knobs for the build phase: threads > 1 drains a
+    /// parallelizable build child with that many workers (canonical-order
+    /// reassembly, see pipeline.h) and creates the bitvector filter from
+    /// per-worker partials merged through BitvectorFilter::MergeFrom.
+    ExecConfig exec;
   };
+
+  /// Per-consumer probe state: the input batch being drained, the
+  /// in-progress duplicate chain, candidate/selection scratch for the
+  /// batched residual probes, and private stats accumulators. Exchange
+  /// workers each own one; the single-threaded Next() path owns one too.
+  /// MergeProbeStats folds the accumulators into the shared counters once
+  /// the owner is quiesced, so merged probed/passed totals are exactly the
+  /// single-threaded counts.
+  struct ProbeState {
+    Batch in;                    ///< current input batch from downstream
+    int cursor = 0;              ///< next unconsumed row of `in`
+    int32_t pending_entry = -1;  ///< in-progress duplicate chain, -1 = none
+    uint64_t pending_hash = 0;   ///< probe hash of the chain's probe row
+    bool input_done = false;     ///< upstream exhausted
+    std::vector<uint64_t> hashes;  ///< composite key hash per row of `in`
+    // Candidate stride: matched (build row, probe row, probe hash) triples
+    // buffered ahead of the batched residual winnow.
+    std::vector<int32_t> cand_build;   ///< build_rows_ offsets
+    std::vector<int32_t> cand_probe;   ///< row indices into `in`
+    std::vector<uint64_t> cand_hash;   ///< join-key probe hash per candidate
+    std::vector<uint16_t> sel;         ///< surviving candidate positions
+    std::vector<uint64_t> rhashes;     ///< residual hash scratch
+    std::vector<int64_t> rkeys;        ///< residual key gather scratch
+    // Private accumulators, merged once by MergeProbeStats.
+    std::vector<FilterStats> residual_stats;  ///< aligned w/ residual_filters
+    int64_t rows_prefilter = 0;
+    int64_t rows_out = 0;
+  };
+
+  /// Pulls the next input batch into *in; false when upstream is exhausted.
+  using NextInputFn = std::function<bool(Batch*)>;
 
   HashJoinOperator(std::unique_ptr<PhysicalOperator> build,
                    std::unique_ptr<PhysicalOperator> probe,
@@ -44,6 +97,24 @@ class HashJoinOperator final : public PhysicalOperator {
     return {build_.get(), probe_.get()};
   }
 
+  /// \brief The probe-side child; pipeline decomposition descends through it
+  /// (the build child hangs below this operator's breaker).
+  PhysicalOperator* probe_child() { return probe_.get(); }
+
+  /// \brief Size `ps`'s scratch for this join. Call after Open().
+  void InitProbeState(ProbeState* ps) const;
+
+  /// \brief Fill `out` with join results, pulling input batches through
+  /// `next_input` as needed; false when `out` came up empty with the input
+  /// exhausted. Safe to call from multiple threads after Open(), each with
+  /// its own ProbeState (and an input source private to that caller, e.g. a
+  /// scan morsel cursor); the table and filters are read-only by then.
+  bool ProbeNext(Batch* out, ProbeState* ps, const NextInputFn& next_input);
+
+  /// \brief Fold a probe state's accumulators into the shared stats. Call
+  /// with the owning worker quiesced (joined); not thread-safe.
+  void MergeProbeStats(ProbeState* ps);
+
  private:
   struct Entry {
     uint64_t hash;
@@ -51,35 +122,36 @@ class HashJoinOperator final : public PhysicalOperator {
     int32_t row_start;  ///< offset into build_rows_ (row-major)
   };
 
-  /// \brief Hash every row of probe_batch_ into probe_hashes_ and prefetch
-  /// the bucket heads the stride is about to touch.
-  void HashProbeBatch();
+  /// \brief Drain the build child into build_rows_ (row-major), wide when
+  /// the build side is a parallelizable pipeline, in canonical order either
+  /// way (the parallel drain reassembles morsel chunks, so the table is
+  /// byte-identical to the single-threaded build at any thread count).
+  void DrainBuild();
+  /// \brief Composite-key hash of every build row, batched.
+  void HashBuildRows(std::vector<uint64_t>* hashes) const;
+  /// \brief Hash every row of ps->in into ps->hashes and prefetch the
+  /// bucket heads the stride is about to touch.
+  void HashProbeBatch(ProbeState* ps) const;
   bool KeysEqual(const Entry& entry, const Batch& batch, int row) const;
-  bool EmitRow(const Batch& probe_batch, int probe_row, uint64_t probe_hash,
-               int32_t build_row, Batch* out);
+  /// \brief Batched residual-filter pass over `ncand` buffered candidates:
+  /// winnows ps->sel in place and returns the surviving count.
+  int WinnowResiduals(ProbeState* ps, int ncand);
 
   std::unique_ptr<PhysicalOperator> build_;
   std::unique_ptr<PhysicalOperator> probe_;
   Config config_;
   FilterRuntime* runtime_;
 
-  // Hash table state.
+  // Hash table state (read-only after Open).
   std::vector<int32_t> buckets_;  ///< -1 = empty
   std::vector<Entry> entries_;
   std::vector<int64_t> build_rows_;  ///< row-major build tuples
   int build_width_ = 0;
   uint64_t bucket_mask_ = 0;
 
-  // Probe iteration state (a probe row can match many build rows).
-  Batch probe_batch_;
-  int probe_cursor_ = 0;
-  int32_t pending_entry_ = -1;
-  uint64_t pending_hash_ = 0;  ///< probe hash of the in-progress chain's row
-  bool probe_exhausted_ = false;
+  /// Probe state of the single-threaded Next() path (merged at Close()).
+  ProbeState local_probe_;
 
-  /// Composite-key hashes of the whole current probe batch, computed once
-  /// when the batch arrives (scratch, reused for the build side at Open).
-  std::vector<uint64_t> probe_hashes_;
   /// residual_uses_probe_hash_[i]: residual filter i's key columns coincide
   /// (position by position) with this join's equi-join keys, so the cached
   /// probe hash doubles as its composite hash for every matched row.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/hash.h"
+#include "src/exec/pipeline.h"
 
 namespace bqo {
 
@@ -26,6 +27,16 @@ SortMergeJoinOperator::SortMergeJoinOperator(
 void SortMergeJoinOperator::Materialize(PhysicalOperator* child,
                                         Side* side) {
   side->width = child->output_schema().size();
+  // Sort-merge is a pipeline breaker on both inputs; when an input is
+  // itself a parallelizable pipeline, drain it wide. Canonical-order
+  // reassembly keeps the materialized rows — and, through the sort's
+  // row-index tie-break, the merge output — identical to threads=1.
+  const Pipeline pipe = BuildProbePipeline(child);
+  if (config_.exec.ResolvedThreads() > 1 && pipe.parallel()) {
+    side->rows = DrainPipelineParallel(pipe, config_.exec);
+    stats_.parallel_workers = config_.exec.ResolvedThreads();
+    return;
+  }
   Batch batch;
   while (child->Next(&batch)) {
     for (int r = 0; r < batch.num_rows; ++r) {

@@ -19,26 +19,38 @@ struct OperatorStats {
   int plan_node_id = -1;
   int64_t rows_out = 0;         ///< after residual bitvector filters
   int64_t rows_prefilter = 0;   ///< before bitvector filters at this op
-  /// Wall ns inside Open+Next (children incl.). Exception: a scan drained
-  /// by an ExchangeOperator reports summed worker pipeline time here — CPU
-  /// ns, which can exceed the stage's wall time; the exchange's own
+  /// Wall ns inside Open+Next (children incl.). Exception: the source scan
+  /// of a parallel pipeline reports the summed worker pipeline time here —
+  /// CPU ns for the whole scan->probe chain, which can exceed the stage's
+  /// wall time; the owning exchange's (or the building join's) own
   /// ns_inclusive is the stage wall time the plan above observed.
   int64_t ns_inclusive = 0;
-  int64_t ns_self = 0;          ///< ns_inclusive minus children
+  /// ns_inclusive minus children; can go negative for an operator whose
+  /// child reports summed CPU time (see ns_inclusive).
+  int64_t ns_self = 0;
+  /// Worker threads that executed this operator's parallel phase: an
+  /// exchange's probe-pipeline draining, or a hash-join/sort-merge build
+  /// drain. 0 = the phase ran single-threaded.
+  int parallel_workers = 0;
 };
 
 /// Per-filter build/probe counters.
 ///
 /// == Per-worker accumulation invariant ==
 ///
-/// These counters are plain (non-atomic) fields. Under morsel-parallel scans
-/// every worker accumulates into its own private FilterStats/OperatorStats
-/// (ScanOperator::WorkerState) and the deltas are merged into the shared
-/// FilterRuntime exactly once at Close(), after the workers are joined — so
-/// probed/passed (and ObservedLambda) are exact and equal to the
-/// single-threaded counts, never torn or approximately-sampled. Only
-/// probe_batches may differ across thread counts (morsel boundaries chop
-/// strides differently); the probe/pass *sets* are partition-invariant.
+/// These counters are plain (non-atomic) fields. Under pipeline-parallel
+/// execution every worker accumulates into its own private
+/// FilterStats/OperatorStats (ScanOperator::WorkerState for pushed-down
+/// scan filters, HashJoinOperator::ProbeState for join residual filters)
+/// and the deltas are merged into the shared FilterRuntime exactly once,
+/// after the workers are joined — so probed/passed (and ObservedLambda) are
+/// exact and equal to the single-threaded counts, never torn or
+/// approximately-sampled. `inserted` is thread-count-invariant too: builds
+/// reassemble their inputs in canonical order and filter fills either run
+/// in that order or reconstruct the sequential count during MergeFrom
+/// (FillFilterParallel in pipeline.h). Only probe_batches may differ across
+/// thread counts (morsel and batch boundaries chop strides differently);
+/// the probe/pass *sets* are partition-invariant.
 struct FilterStats {
   int filter_id = -1;
   bool created = false;   ///< false if pruned/disabled

@@ -1,0 +1,211 @@
+#include "src/exec/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "src/filter/bloom_filter.h"
+
+namespace bqo {
+
+namespace {
+
+/// Per-worker filter fills below this many keys run sequentially: the
+/// thread spawn + partial-filter allocation costs more than the inserts.
+constexpr int64_t kMinParallelFilterKeys = 8192;
+
+/// Pull the next output batch of `stage` (0 = scan, i = probes[i-1]). The
+/// recursion materializes the Volcano pull chain over per-worker states;
+/// `morsel_confined` selects the canonical (one-morsel) scan mode.
+bool StageNext(const Pipeline& pipe, size_t stage, bool morsel_confined,
+               Batch* out, PipelineWorkerState* ws) {
+  if (stage == 0) {
+    return morsel_confined ? pipe.source->MorselNext(out, &ws->scan)
+                           : pipe.source->ParallelNext(out, &ws->scan);
+  }
+  HashJoinOperator* hj = pipe.probes[stage - 1];
+  return hj->ProbeNext(out, &ws->probes[stage - 1], [&](Batch* in) {
+    return StageNext(pipe, stage - 1, morsel_confined, in, ws);
+  });
+}
+
+/// Clear the per-morsel latches so a fresh morsel can stream through the
+/// probe chain (the previous morsel always drains to completion first, so
+/// only the upstream-exhausted flags and batch cursors need resetting).
+void ResetForMorsel(PipelineWorkerState* ws) {
+  for (HashJoinOperator::ProbeState& ps : ws->probes) {
+    ps.input_done = false;
+    ps.cursor = 0;
+    ps.in.num_rows = 0;
+    ps.pending_entry = -1;
+  }
+}
+
+/// The output rows one claimed morsel produced, keyed by the morsel's
+/// canonical position in the scan selection.
+struct MorselChunk {
+  size_t begin = 0;
+  std::vector<int64_t> rows;  ///< row-major
+};
+
+}  // namespace
+
+Pipeline BuildProbePipeline(PhysicalOperator* op) {
+  Pipeline pipe;
+  std::vector<HashJoinOperator*> chain;  // top-down during the descent
+  PhysicalOperator* cur = op;
+  for (;;) {
+    if (auto* scan = dynamic_cast<ScanOperator*>(cur)) {
+      pipe.source = scan;
+      break;
+    }
+    auto* hj = dynamic_cast<HashJoinOperator*>(cur);
+    if (hj == nullptr) break;  // breaker (sort-merge, ...): not parallel
+    chain.push_back(hj);
+    cur = hj->probe_child();
+  }
+  if (pipe.source != nullptr) {
+    pipe.probes.assign(chain.rbegin(), chain.rend());
+  }
+  return pipe;
+}
+
+void InitPipelineWorker(const Pipeline& pipe, PipelineWorkerState* ws) {
+  pipe.source->InitWorkerState(&ws->scan);
+  ws->probes.resize(pipe.probes.size());
+  for (size_t i = 0; i < pipe.probes.size(); ++i) {
+    pipe.probes[i]->InitProbeState(&ws->probes[i]);
+  }
+}
+
+bool PipelineParallelNext(const Pipeline& pipe, Batch* out,
+                          PipelineWorkerState* ws) {
+  return StageNext(pipe, pipe.probes.size(), /*morsel_confined=*/false, out,
+                   ws);
+}
+
+void MergePipelineWorkerStats(const Pipeline& pipe, PipelineWorkerState* ws) {
+  pipe.source->MergeWorkerStats(&ws->scan);
+  for (size_t i = 0; i < pipe.probes.size(); ++i) {
+    pipe.probes[i]->MergeProbeStats(&ws->probes[i]);
+  }
+}
+
+std::vector<int64_t> DrainPipelineParallel(const Pipeline& pipe,
+                                           const ExecConfig& exec) {
+  BQO_CHECK(pipe.parallel());
+  const int num_workers = exec.ResolvedThreads();
+  pipe.source->set_morsel_rows(static_cast<size_t>(exec.morsel_rows));
+
+  std::vector<PipelineWorkerState> states(
+      static_cast<size_t>(num_workers));
+  std::vector<std::vector<MorselChunk>> worker_chunks(
+      static_cast<size_t>(num_workers));
+  for (auto& ws : states) InitPipelineWorker(pipe, &ws);
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_workers));
+  for (int w = 0; w < num_workers; ++w) {
+    threads.emplace_back([&pipe, &states, &worker_chunks, w] {
+      PipelineWorkerState& ws = states[static_cast<size_t>(w)];
+      std::vector<MorselChunk>& chunks =
+          worker_chunks[static_cast<size_t>(w)];
+      const auto start = std::chrono::steady_clock::now();
+      Batch batch;
+      size_t begin = 0;
+      while (pipe.source->ClaimMorsel(&ws.scan, &begin)) {
+        ResetForMorsel(&ws);
+        MorselChunk chunk;
+        chunk.begin = begin;
+        while (StageNext(pipe, pipe.probes.size(), /*morsel_confined=*/true,
+                         &batch, &ws)) {
+          const int ncols = batch.num_cols();
+          for (int r = 0; r < batch.num_rows; ++r) {
+            for (int c = 0; c < ncols; ++c) {
+              chunk.rows.push_back(batch.col(c)[r]);
+            }
+          }
+        }
+        chunks.push_back(std::move(chunk));
+      }
+      ws.scan.busy_ns +=
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (auto& ws : states) MergePipelineWorkerStats(pipe, &ws);
+
+  // Reassemble in canonical order: morsel begins are unique cursor offsets,
+  // so sorting by them reproduces the selection (= single-threaded) order.
+  std::vector<const MorselChunk*> order;
+  size_t total = 0;
+  for (const auto& chunks : worker_chunks) {
+    for (const MorselChunk& c : chunks) {
+      order.push_back(&c);
+      total += c.rows.size();
+    }
+  }
+  std::sort(order.begin(), order.end(),
+            [](const MorselChunk* a, const MorselChunk* b) {
+              return a->begin < b->begin;
+            });
+  std::vector<int64_t> rows;
+  rows.reserve(total);
+  for (const MorselChunk* c : order) {
+    rows.insert(rows.end(), c->rows.begin(), c->rows.end());
+  }
+  return rows;
+}
+
+void FillFilterParallel(BitvectorFilter* filter, const FilterConfig& config,
+                        const uint64_t* hashes, int64_t n,
+                        const ExecConfig& exec) {
+  const int workers = exec.ResolvedThreads();
+  // Cuckoo contents depend on insert order (displacement history): a
+  // partitioned build would be sound but not bit-identical to threads=1,
+  // perturbing downstream passed counts. Canonical sequential fill keeps
+  // every counter thread-count-invariant. Small builds also fill
+  // sequentially — the spawn + partial allocation isn't worth it.
+  if (workers <= 1 || config.kind == FilterKind::kCuckoo ||
+      n < kMinParallelFilterKeys) {
+    for (int64_t i = 0; i < n; ++i) filter->Insert(hashes[i]);
+    return;
+  }
+
+  // Exact/Bloom inserts commute (set union / bitwise OR), so per-worker
+  // partials over contiguous partitions merge into bits identical to the
+  // sequential build, and MergeFrom reproduces the sequential NumInserted
+  // (exactly for Exact by set semantics, exactly for Bloom via the insert
+  // journals replayed against the merged prefix).
+  std::vector<std::unique_ptr<BitvectorFilter>> partials(
+      static_cast<size_t>(workers));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers));
+  const int64_t chunk = (n + workers - 1) / workers;
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&partials, &config, hashes, n, chunk, w] {
+      const int64_t begin = static_cast<int64_t>(w) * chunk;
+      const int64_t end = std::min(n, begin + chunk);
+      if (begin >= end) return;
+      // Bloom partials share the final filter's geometry (sized for the
+      // whole build) so blocks OR together; Exact partials only need their
+      // own partition's capacity.
+      auto partial = CreateFilter(
+          config, config.kind == FilterKind::kBloom ? n : end - begin);
+      if (config.kind == FilterKind::kBloom) {
+        static_cast<BloomFilter*>(partial.get())->EnableInsertTracking();
+      }
+      for (int64_t i = begin; i < end; ++i) partial->Insert(hashes[i]);
+      partials[static_cast<size_t>(w)] = std::move(partial);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (auto& partial : partials) {
+    if (partial != nullptr) filter->MergeFrom(*partial);
+  }
+}
+
+}  // namespace bqo

@@ -7,23 +7,8 @@
 
 namespace bqo {
 
-namespace {
-
-/// Devirtualized batch probe: Bloom is the production default and the
-/// per-tuple filter-check cost (Cf in Section 6.3) is the quantity Figure 7
-/// profiles, so the hot path avoids the virtual dispatch for it (BloomFilter
-/// is `final`, so the static_cast call is direct).
-inline int FilterMayContainBatch(const BitvectorFilter* filter,
-                                 const uint64_t* hashes, uint16_t* sel,
-                                 int num_sel) {
-  if (filter->kind() == FilterKind::kBloom) {
-    return static_cast<const BloomFilter*>(filter)->MayContainBatch(
-        hashes, sel, num_sel);
-  }
-  return filter->MayContainBatch(hashes, sel, num_sel);
-}
-
-}  // namespace
+// The devirtualized FilterMayContainBatch the stride loop probes through
+// lives in bloom_filter.h, shared with the hash join's residual winnow.
 
 ScanOperator::ScanOperator(const Table* table, ExprPtr predicate,
                            OutputSchema schema,
@@ -152,9 +137,19 @@ void ScanOperator::ProcessStride(const uint32_t* rows, int n, uint16_t* sel,
   out->num_rows += m;
 }
 
+void ScanOperator::ConsumeStride(Batch* out, WorkerState* ws) const {
+  const int n = static_cast<int>(std::min<size_t>(
+      static_cast<size_t>(kBatchSize - out->num_rows),
+      ws->morsel_end - ws->morsel_pos));
+  const uint32_t* rows = selection_.data() + ws->morsel_pos;
+  ws->morsel_pos += static_cast<size_t>(n);
+  ws->rows_prefilter += n;
+  ProcessStride(rows, n, ws->sel.data(), ws->hashes.data(), ws->keys.data(),
+                ws->filter_stats.data(), out);
+}
+
 bool ScanOperator::ParallelNext(Batch* out, WorkerState* ws) {
   out->Reset(schema_.size());
-  const size_t total = selection_.size();
 
   // Keep consuming strides until the output batch fills (or the claimed
   // work runs out): under a highly selective filter each stride contributes
@@ -163,22 +158,31 @@ bool ScanOperator::ParallelNext(Batch* out, WorkerState* ws) {
   // stride at the batch's remaining capacity keeps strides near-full.
   while (!out->Full()) {
     if (ws->morsel_pos >= ws->morsel_end) {
-      // Claim the next morsel off the shared cursor. fetch_add is the only
-      // cross-worker synchronization on the hot path.
-      const size_t begin =
-          shared_cursor_.fetch_add(morsel_rows_, std::memory_order_relaxed);
-      if (begin >= total) break;
-      ws->morsel_pos = begin;
-      ws->morsel_end = std::min(begin + morsel_rows_, total);
+      size_t begin;
+      if (!ClaimMorsel(ws, &begin)) break;
     }
-    const int n = static_cast<int>(std::min<size_t>(
-        static_cast<size_t>(kBatchSize - out->num_rows),
-        ws->morsel_end - ws->morsel_pos));
-    const uint32_t* rows = selection_.data() + ws->morsel_pos;
-    ws->morsel_pos += static_cast<size_t>(n);
-    ws->rows_prefilter += n;
-    ProcessStride(rows, n, ws->sel.data(), ws->hashes.data(), ws->keys.data(),
-                  ws->filter_stats.data(), out);
+    ConsumeStride(out, ws);
+  }
+  ws->rows_out += out->num_rows;
+  return out->num_rows > 0;
+}
+
+bool ScanOperator::ClaimMorsel(WorkerState* ws, size_t* begin) {
+  // fetch_add is the only cross-worker synchronization on the hot path.
+  const size_t total = selection_.size();
+  const size_t b =
+      shared_cursor_.fetch_add(morsel_rows_, std::memory_order_relaxed);
+  if (b >= total) return false;
+  ws->morsel_pos = b;
+  ws->morsel_end = std::min(b + morsel_rows_, total);
+  *begin = b;
+  return true;
+}
+
+bool ScanOperator::MorselNext(Batch* out, WorkerState* ws) {
+  out->Reset(schema_.size());
+  while (!out->Full() && ws->morsel_pos < ws->morsel_end) {
+    ConsumeStride(out, ws);
   }
   ws->rows_out += out->num_rows;
   return out->num_rows > 0;

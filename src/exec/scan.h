@@ -15,9 +15,13 @@
 // morsel-sized chunks, and each worker keeps its own scratch buffers and
 // stats accumulators in a WorkerState. The single-threaded Next() path is the
 // degenerate case — one WorkerState, one morsel spanning the whole selection —
-// so both paths execute the same code. ExchangeOperator (exchange.h) owns the
-// worker threads; it merges every WorkerState's counters back into the shared
-// OperatorStats/FilterStats exactly once at Close().
+// so both paths execute the same code. The scan is the *source* of every
+// parallel pipeline (pipeline.h): ExchangeOperator workers drain it
+// free-running through ParallelNext, and hash-join build drains claim one
+// morsel at a time (ClaimMorsel/MorselNext) so their outputs reassemble in
+// canonical order. Whoever owns the workers merges every WorkerState's
+// counters back into the shared OperatorStats/FilterStats exactly once,
+// after the workers are joined.
 #pragma once
 
 #include <atomic>
@@ -63,8 +67,23 @@ class ScanOperator final : public PhysicalOperator {
   /// \brief Fill `out` by claiming strides off the shared morsel cursor;
   /// false when the selection is exhausted and `out` came up empty. Safe to
   /// call from multiple threads after Open(), each with its own WorkerState;
-  /// all counters accumulate into `ws`.
+  /// all counters accumulate into `ws`. Batches may span morsels (the
+  /// free-running path used above probe pipelines, where order is
+  /// irrelevant).
   bool ParallelNext(Batch* out, WorkerState* ws);
+
+  /// \brief Claim the next unprocessed morsel off the shared cursor into
+  /// `ws`. `*begin` is its starting offset in the selection — a canonical
+  /// position: chunks sorted by it reassemble the single-threaded row
+  /// order. False when the selection is exhausted. Thread-safe.
+  bool ClaimMorsel(WorkerState* ws, size_t* begin);
+
+  /// \brief Like ParallelNext but confined to the morsel last claimed via
+  /// ClaimMorsel: fills `out` from that morsel's remaining rows only and
+  /// returns false once it is drained. Build-side drains use this so each
+  /// output chunk maps to exactly one morsel (pipeline.h reassembles them
+  /// in canonical order).
+  bool MorselNext(Batch* out, WorkerState* ws);
 
   /// \brief Fold a worker's accumulators into the shared stats. Call with
   /// the worker quiesced (joined), before Close(); not thread-safe.
@@ -91,6 +110,10 @@ class ScanOperator final : public PhysicalOperator {
   void ProcessStride(const uint32_t* rows, int n, uint16_t* sel,
                      uint64_t* hashes, int64_t* keys, FilterStats* fstats,
                      Batch* out) const;
+
+  /// Run one stride off `ws`'s claimed morsel (capped at the batch's
+  /// remaining capacity) through the filter pipeline into `out`.
+  void ConsumeStride(Batch* out, WorkerState* ws) const;
 
   const Table* table_;
   ExprPtr predicate_;

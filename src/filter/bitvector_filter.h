@@ -61,6 +61,21 @@ class BitvectorFilter {
     return out;
   }
 
+  /// \brief Fold `other` — a filter of the same kind built over a partition
+  /// of the same logical key set — into this filter, so that MayContain
+  /// afterwards admits every key either operand admitted.
+  ///
+  /// Parallel hash-join builds create one filter per worker over a
+  /// contiguous partition of the build keys and combine the partials through
+  /// this (see FillFilterParallel in pipeline.h). NumInserted stays a
+  /// logical-key count after the merge: duplicate keys across partitions
+  /// must not be double counted where the implementation can detect them —
+  /// ExactFilter unions exactly, BloomFilter reproduces the sequential
+  /// new-bit count from the partials' insert journals (EnableInsertTracking),
+  /// and CuckooFilter replays fingerprints through its duplicate-detecting
+  /// insert path, propagating an operand's overflow freeze.
+  virtual void MergeFrom(const BitvectorFilter& other) = 0;
+
   /// \brief True iff this implementation can never return a false positive.
   virtual bool exact() const = 0;
 

@@ -35,19 +35,65 @@ void BloomFilter::Insert(uint64_t hash) {
   // Double hashing within the block: bit_i = h1 + i*h2 (mod 512).
   uint64_t h1 = hash >> 17;
   const uint64_t h2 = (Mix64(hash) | 1);  // odd stride
-  uint64_t newly_set = 0;
+  uint8_t new_probes = 0;
   for (int i = 0; i < k_; ++i) {
     const uint64_t bit = h1 & 511;
     const uint64_t mask = uint64_t{1} << (bit & 63);
-    newly_set |= ~block.words[bit >> 6] & mask;
-    block.words[bit >> 6] |= mask;
+    const uint64_t word = block.words[bit >> 6];
+    new_probes |= static_cast<uint8_t>(static_cast<uint8_t>((word & mask) == 0)
+                                       << i);
+    block.words[bit >> 6] = word | mask;
     h1 += h2;
   }
   // Count only inserts that logically add a key: if every bit was already
   // set the key was indistinguishable from present (a duplicate, or a key
   // the filter already can't reject), so n — the key count TheoreticalFpRate
   // and the cost model divide by — stays an (approximate) distinct count.
-  num_inserted_ += newly_set != 0 ? 1 : 0;
+  if (new_probes != 0) {
+    ++num_inserted_;
+    if (tracking_) journal_.push_back(TrackedInsert{hash, new_probes});
+  }
+}
+
+bool BloomFilter::ProbeBitsSet(uint64_t hash, uint8_t probe_mask) const {
+  const Block& block = blocks_[hash & block_mask_];
+  uint64_t h1 = hash >> 17;
+  const uint64_t h2 = (Mix64(hash) | 1);
+  for (int i = 0; i < k_; ++i) {
+    const uint64_t bit = h1 & 511;
+    if ((probe_mask & (1u << i)) != 0 &&
+        (block.words[bit >> 6] & (uint64_t{1} << (bit & 63))) == 0) {
+      return false;
+    }
+    h1 += h2;
+  }
+  return true;
+}
+
+void BloomFilter::MergeFrom(const BitvectorFilter& other) {
+  BQO_CHECK(other.kind() == FilterKind::kBloom);
+  const auto& src = static_cast<const BloomFilter&>(other);
+  BQO_CHECK_EQ(blocks_.size(), src.blocks_.size());
+  BQO_CHECK_EQ(k_, src.k_);
+  // Count before ORing the bits: `this` still holds exactly the prefix
+  // partitions' bits, so a journaled insert of `src` counts iff one of the
+  // bits it newly set within its own partition is still unset here — which
+  // is precisely the sequential rule "counts iff it sets a bit no earlier
+  // insert set" applied across the partition boundary.
+  if (src.tracking_) {
+    for (const TrackedInsert& t : src.journal_) {
+      if (!ProbeBitsSet(t.hash, t.new_probes)) ++num_inserted_;
+    }
+  } else {
+    // Untracked operand: its local count approximates its own partition's
+    // logical keys; keys duplicated across partitions may double count.
+    num_inserted_ += src.num_inserted_;
+  }
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    for (int w = 0; w < 8; ++w) {
+      blocks_[b].words[w] |= src.blocks_[b].words[w];
+    }
+  }
 }
 
 bool BloomFilter::MayContain(uint64_t hash) const {

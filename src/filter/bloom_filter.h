@@ -24,6 +24,25 @@ class BloomFilter final : public BitvectorFilter {
   bool MayContain(uint64_t hash) const override;
   int MayContainBatch(const uint64_t* hashes, uint16_t* sel,
                       int num_sel) const override;
+  /// Bitwise-OR of the blocks (both filters must share block count and k;
+  /// the parallel build sizes every partial for the full build side so
+  /// geometries match by construction). Because Insert only ever ORs bits,
+  /// the merged contents are bit-identical to one sequential build over the
+  /// concatenated key streams — merge order never changes the bits.
+  ///
+  /// NumInserted: if `other` was built with EnableInsertTracking(), its
+  /// journal is replayed against this filter's pre-merge bits, which — when
+  /// partials are merged in partition order — reproduces the sequential
+  /// new-bit count exactly (a journaled insert counts iff one of the bits it
+  /// newly set within its partition is still unset in the merged prefix).
+  /// Without tracking the operands' counts are summed, which can overcount
+  /// keys duplicated across partitions.
+  void MergeFrom(const BitvectorFilter& other) override;
+
+  /// \brief Journal every counting insert (its hash plus which of its k
+  /// probe positions it newly set) so MergeFrom can reproduce the
+  /// sequential NumInserted. Call before the first Insert.
+  void EnableInsertTracking() { tracking_ = true; }
 
   bool exact() const override { return false; }
   int64_t SizeBytes() const override {
@@ -45,10 +64,38 @@ class BloomFilter final : public BitvectorFilter {
     uint64_t words[8] = {0, 0, 0, 0, 0, 0, 0, 0};
   };
 
+  /// One journaled counting insert: the key's hash plus a bitmask over its
+  /// k probe positions marking which ones it newly set (bit i set ⇔ probe
+  /// i's block bit was 0 before this insert).
+  struct TrackedInsert {
+    uint64_t hash;
+    uint8_t new_probes;
+  };
+
+  /// True iff every probe position of `hash` flagged in `probe_mask` is set.
+  bool ProbeBitsSet(uint64_t hash, uint8_t probe_mask) const;
+
   std::vector<Block> blocks_;
   uint64_t block_mask_ = 0;
   int k_ = 6;
   int64_t num_inserted_ = 0;
+  bool tracking_ = false;
+  std::vector<TrackedInsert> journal_;  ///< counting inserts, when tracking_
 };
+
+/// \brief Devirtualized batch probe: Bloom is the production default and the
+/// per-tuple filter-check cost (Cf in Section 6.3) is the quantity Figure 7
+/// profiles, so the hot paths (scan strides and join residual strides) avoid
+/// the virtual dispatch for it (BloomFilter is `final`, so the static_cast
+/// call is direct).
+inline int FilterMayContainBatch(const BitvectorFilter* filter,
+                                 const uint64_t* hashes, uint16_t* sel,
+                                 int num_sel) {
+  if (filter->kind() == FilterKind::kBloom) {
+    return static_cast<const BloomFilter*>(filter)->MayContainBatch(
+        hashes, sel, num_sel);
+  }
+  return filter->MayContainBatch(hashes, sel, num_sel);
+}
 
 }  // namespace bqo

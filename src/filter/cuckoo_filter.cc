@@ -58,8 +58,10 @@ void CuckooFilter::Insert(uint64_t hash) {
   // overflow the filter already admits everything, and a (fingerprint,
   // bucket)-duplicate is indistinguishable from a key that is present.
   if (overflowed_) return;
-  const uint16_t fp = FingerprintOf(hash);
-  const uint64_t i1 = IndexOf(hash);
+  InsertFingerprint(IndexOf(hash), FingerprintOf(hash));
+}
+
+void CuckooFilter::InsertFingerprint(uint64_t i1, uint16_t fp) {
   const uint64_t i2 = AltIndex(i1, fp);
   if (BucketContains(i1, fp) || BucketContains(i2, fp)) return;
   if (TryInsertAt(i1, fp) || TryInsertAt(i2, fp)) {
@@ -83,6 +85,41 @@ void CuckooFilter::Insert(uint64_t hash) {
   }
   overflowed_ = true;  // MayContain now admits everything; still sound.
   ++num_inserted_;     // the triggering key is admitted (as is everything)
+}
+
+void CuckooFilter::MergeFrom(const BitvectorFilter& other) {
+  BQO_CHECK(other.kind() == FilterKind::kCuckoo);
+  const auto& src = static_cast<const CuckooFilter&>(other);
+  if (src.overflowed_ || overflowed_) {
+    // Freeze propagation: an overflowed operand admits everything, so the
+    // merged filter must too. Its slots are incomplete (inserts stopped at
+    // the freeze), so replay is pointless; carry its logical-key count.
+    // Deliberately ahead of the geometry check — no slots are touched.
+    overflowed_ = true;
+    num_inserted_ += src.num_inserted_;
+    return;
+  }
+  BQO_CHECK_EQ(bucket_mask_, src.bucket_mask_);
+  BQO_CHECK_EQ(fp_mask_, src.fp_mask_);
+  const size_t num_slots = src.slots_.size();
+  for (size_t s = 0; s < num_slots; ++s) {
+    const uint16_t fp = src.slots_[s];
+    if (fp == 0) continue;
+    // A stored fingerprint sits in its primary or its alternate bucket; the
+    // partial-key property (i1 = i2 xor hash(fp)) makes the pair {here,
+    // AltIndex(here, fp)} identical either way, so replaying with `here` as
+    // the primary reproduces the original two candidate buckets.
+    InsertFingerprint(s / kBucketSize, fp);
+    if (overflowed_) {
+      // Replay itself overflowed: the filter now admits everything. The
+      // remaining operand slots are still logical keys — account them
+      // without placement so NumInserted keeps approximating the union.
+      for (size_t r = s + 1; r < num_slots; ++r) {
+        if (src.slots_[r] != 0) ++num_inserted_;
+      }
+      return;
+    }
+  }
 }
 
 bool CuckooFilter::MayContain(uint64_t hash) const {

@@ -18,6 +18,20 @@ class CuckooFilter final : public BitvectorFilter {
   bool MayContain(uint64_t hash) const override;
   int MayContainBatch(const uint64_t* hashes, uint16_t* sel,
                       int num_sel) const override;
+  /// Insert-replay: every stored fingerprint of `other` (same geometry) is
+  /// re-inserted through the duplicate-detecting path, so a (fingerprint,
+  /// bucket) pair present in both operands counts once — NumInserted stays
+  /// a logical-key count. Overflow freezes propagate: if either operand
+  /// overflowed (or the replay itself overflows), the merged filter admits
+  /// everything and the remaining operand keys are carried into the count
+  /// without placement.
+  ///
+  /// Note: unlike Exact/Bloom merges, cuckoo contents are insert-order
+  /// dependent (displacement history), so a merged build is sound but not
+  /// bit-identical to a sequential one; the executor therefore fills cuckoo
+  /// join filters sequentially in canonical order (see FillFilterParallel)
+  /// to keep probe counts thread-count-invariant.
+  void MergeFrom(const BitvectorFilter& other) override;
 
   bool exact() const override { return false; }
   int64_t SizeBytes() const override {
@@ -40,6 +54,11 @@ class CuckooFilter final : public BitvectorFilter {
   uint64_t AltIndex(uint64_t index, uint16_t fp) const;
   bool TryInsertAt(uint64_t bucket, uint16_t fp);
   bool BucketContains(uint64_t bucket, uint16_t fp) const;
+  /// Dedup + place + displace for a fingerprint whose primary bucket is
+  /// `i1`; shared by Insert and MergeFrom replay. Counts a logical add
+  /// unless (fp, bucket) was already present; sets overflowed_ when the
+  /// displacement budget exhausts.
+  void InsertFingerprint(uint64_t i1, uint16_t fp);
 
   std::vector<uint16_t> slots_;  // num_buckets * kBucketSize, 0 = empty
   uint64_t bucket_mask_ = 0;

@@ -56,6 +56,15 @@ int ExactFilter::MayContainBatch(const uint64_t* hashes, uint16_t* sel,
       [this](uint64_t h) { return MayContain(h); });
 }
 
+void ExactFilter::MergeFrom(const BitvectorFilter& other) {
+  BQO_CHECK(other.kind() == FilterKind::kExact);
+  const auto& src = static_cast<const ExactFilter&>(other);
+  if (src.has_zero_) Insert(0);
+  for (uint64_t h : src.slots_) {
+    if (h != 0) Insert(h);
+  }
+}
+
 void ExactFilter::Grow() {
   std::vector<uint64_t> old = std::move(slots_);
   slots_.assign(old.size() * 2, 0);

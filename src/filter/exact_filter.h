@@ -22,6 +22,11 @@ class ExactFilter final : public BitvectorFilter {
   bool MayContain(uint64_t hash) const override;
   int MayContainBatch(const uint64_t* hashes, uint16_t* sel,
                       int num_sel) const override;
+  /// Set union: every stored hash of `other` is Insert()ed, so NumInserted
+  /// stays the exact distinct-key count of the union (insertion dedups) and
+  /// the merged contents equal a sequential build over both key sets in any
+  /// order. `other` may have any capacity; only its kind must match.
+  void MergeFrom(const BitvectorFilter& other) override;
 
   bool exact() const override { return true; }
   int64_t SizeBytes() const override {

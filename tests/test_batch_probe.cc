@@ -199,11 +199,12 @@ TEST(BatchExecParity, ChecksumInvariantAcrossFilterKinds) {
       EXPECT_EQ(m.result_rows, base.result_rows)
           << shape.name << " " << FilterKindName(kind);
 
-      // Stride accounting. Scan-applied filters go through MayContainBatch
-      // (probe_batches counts strides of <= kBatchSize probes); residual
-      // filters at joins still probe row-at-a-time with probe_batches == 0.
-      // At least one filter per query must have taken the batched path, or
-      // the vectorized pipeline silently fell back.
+      // Stride accounting. Scan-applied filters and join residual filters
+      // both go through MayContainBatch (probe_batches counts strides of
+      // <= kBatchSize probes; joins buffer matched rows into candidate
+      // strides first — see HashJoinOperator::WinnowResiduals). At least
+      // one filter per query must have taken the batched path, or the
+      // vectorized pipeline silently fell back.
       bool any_batched = false;
       for (const FilterStats& fs : m.filters) {
         if (!fs.created) continue;

@@ -5,6 +5,7 @@
 // positives only cost performance; Bloom/cuckoo rates are bounded below.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "src/common/rng.h"
@@ -255,6 +256,126 @@ TEST(FilterFactory, CreatesRequestedKinds) {
     EXPECT_EQ(f->kind(), kind);
     EXPECT_EQ(f->exact(), kind == FilterKind::kExact);
   }
+}
+
+// ---- MergeFrom: partitioned parallel builds fold partials into one filter.
+
+TEST(ExactFilterMerge, SetUnionWithOverlapAndZeroHash) {
+  Rng rng(271);
+  std::vector<uint64_t> a_keys, b_keys;
+  for (int i = 0; i < 500; ++i) a_keys.push_back(rng.Next());
+  for (int i = 0; i < 400; ++i) b_keys.push_back(rng.Next());
+  // Overlap: 100 of a's keys also land in b, plus the zero-hash sentinel
+  // in both.
+  b_keys.insert(b_keys.end(), a_keys.begin(), a_keys.begin() + 100);
+  a_keys.push_back(0);
+  b_keys.push_back(0);
+
+  ExactFilter a(512), b(512);
+  for (uint64_t k : a_keys) a.Insert(k);
+  for (uint64_t k : b_keys) b.Insert(k);
+  a.MergeFrom(b);
+
+  for (uint64_t k : a_keys) EXPECT_TRUE(a.MayContain(k));
+  for (uint64_t k : b_keys) EXPECT_TRUE(a.MayContain(k));
+  // Exactly the distinct union: 500 + 400 distinct + the zero hash.
+  EXPECT_EQ(a.NumInserted(), 901);
+  // Non-members still rejected (merge kept exactness).
+  int fp = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (a.MayContain(rng.Next())) ++fp;
+  }
+  EXPECT_EQ(fp, 0);
+}
+
+/// Tracked Bloom merge must reproduce the *sequential* filter bit-for-bit
+/// in behavior and count: same geometry partials ORed in partition order.
+/// Run undersized (1.5 bits/key) so probe bits overlap heavily across keys
+/// — the regime where naive count summing diverges.
+TEST(BloomFilterMerge, TrackedMergeMatchesSequentialBuild) {
+  Rng rng(999);
+  constexpr int kKeys = 3000;
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < kKeys; ++i) keys.push_back(rng.Next());
+  // Duplicates across partition boundaries, too.
+  for (int i = 0; i < 300; ++i) keys.push_back(keys[static_cast<size_t>(i)]);
+
+  BloomFilter sequential(kKeys, 1.5);
+  for (uint64_t k : keys) sequential.Insert(k);
+
+  BloomFilter merged(kKeys, 1.5);
+  const size_t part = keys.size() / 3 + 1;
+  for (size_t begin = 0; begin < keys.size(); begin += part) {
+    BloomFilter partial(kKeys, 1.5);  // same geometry by construction
+    partial.EnableInsertTracking();
+    const size_t end = std::min(keys.size(), begin + part);
+    for (size_t i = begin; i < end; ++i) partial.Insert(keys[i]);
+    merged.MergeFrom(partial);
+  }
+
+  // Identical logical-key count (the journal replay reproduces the
+  // sequential new-bit rule across partition boundaries) ...
+  EXPECT_EQ(merged.NumInserted(), sequential.NumInserted());
+  EXPECT_LT(merged.NumInserted(), kKeys);  // undersized: folds happened
+  // ... and identical probe behavior (OR of partition bits == sequential
+  // bits), membership and non-membership alike.
+  for (uint64_t k : keys) EXPECT_TRUE(merged.MayContain(k));
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t h = rng.Next();
+    EXPECT_EQ(merged.MayContain(h), sequential.MayContain(h));
+  }
+}
+
+TEST(CuckooFilterMerge, ReplayUnionNoFalseNegatives) {
+  Rng rng(5150);
+  std::vector<uint64_t> a_keys, b_keys;
+  for (int i = 0; i < 300; ++i) a_keys.push_back(rng.Next());
+  for (int i = 0; i < 300; ++i) b_keys.push_back(rng.Next());
+  // Cross-partition duplicates: same key in both partials.
+  b_keys.insert(b_keys.end(), a_keys.begin(), a_keys.begin() + 50);
+
+  // Same geometry, sized for the union (like FillFilterParallel partials).
+  CuckooFilter a(1000, 12), b(1000, 12);
+  for (uint64_t k : a_keys) a.Insert(k);
+  for (uint64_t k : b_keys) b.Insert(k);
+  ASSERT_FALSE(a.overflowed());
+  ASSERT_FALSE(b.overflowed());
+  const int64_t na = a.NumInserted(), nb = b.NumInserted();
+
+  a.MergeFrom(b);
+  ASSERT_FALSE(a.overflowed());
+  // Zero false negatives across the union — the system invariant.
+  for (uint64_t k : a_keys) EXPECT_TRUE(a.MayContain(k));
+  for (uint64_t k : b_keys) EXPECT_TRUE(a.MayContain(k));
+  // Replay dedups (fingerprint, bucket) pairs: the 50 duplicated keys must
+  // not double count, and the count can only shrink further via fingerprint
+  // collisions, never grow.
+  EXPECT_LE(a.NumInserted(), na + nb - 50);
+  EXPECT_GE(a.NumInserted(), na);
+}
+
+TEST(CuckooFilterMerge, OverflowedPartitionFreezesMergedFilter) {
+  // One healthy partial, one driven into overflow.
+  CuckooFilter healthy(1000, 12);
+  Rng rng(17);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 200; ++i) keys.push_back(rng.Next());
+  for (uint64_t k : keys) healthy.Insert(k);
+
+  CuckooFilter overflowed(16, 8);
+  for (int i = 0; i < 5000; ++i) overflowed.Insert(rng.Next());
+  ASSERT_TRUE(overflowed.overflowed());
+
+  const int64_t expected =
+      healthy.NumInserted() + overflowed.NumInserted();
+  // Freeze propagation is geometry-independent (no slots are replayed), so
+  // the differing capacities must not trip the merge.
+  healthy.MergeFrom(overflowed);
+  EXPECT_TRUE(healthy.overflowed());
+  // Frozen filter admits everything (degenerates safely).
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(healthy.MayContain(rng.Next()));
+  // Logical-key count carries the overflowed partition's adds.
+  EXPECT_EQ(healthy.NumInserted(), expected);
 }
 
 }  // namespace

@@ -1,0 +1,359 @@
+// Pipeline-parallel execution correctness: at every thread count the engine
+// must produce the same result multiset and the same merged FilterStats as
+// threads=1 — parallel hash-join builds, parallel filter creation, and wide
+// probe pipelines are pure performance. Pins:
+//
+//  * threads == 1 compiles the exact single-threaded plan (no exchange);
+//    threads > 1 compiles exactly one exchange, directly below the
+//    aggregate, and every hash-join build runs on N workers.
+//  * For all three filter kinds over star and snowflake shapes (sort-merge
+//    joins included), a {1,2,4} thread sweep leaves result rows/checksums,
+//    per-type tuple counts, and merged probed/passed/inserted byte-equal.
+//  * FillFilterParallel reproduces the sequential filter (membership and
+//    NumInserted) from per-worker partials merged via MergeFrom.
+//
+// Run under -DBQO_SANITIZE=thread in CI to pin race-freedom, and under
+// -DBQO_SANITIZE=address,undefined for memory/UB.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+#include "src/exec/exchange.h"
+#include "src/exec/executor.h"
+#include "src/exec/pipeline.h"
+#include "src/plan/pushdown.h"
+#include "test_util.h"
+
+namespace bqo {
+namespace {
+
+using ::bqo::testing::MakeSnowflakeDb;
+using ::bqo::testing::MakeStarDb;
+
+/// Compare every thread-count-invariant field of two runs.
+void ExpectRunsEqual(const QueryMetrics& base, const QueryMetrics& m,
+                     const std::string& what) {
+  EXPECT_EQ(m.result_rows, base.result_rows) << what;
+  EXPECT_EQ(m.result_checksum, base.result_checksum) << what;
+  EXPECT_EQ(m.leaf_tuples, base.leaf_tuples) << what;
+  EXPECT_EQ(m.join_tuples, base.join_tuples) << what;
+  ASSERT_EQ(m.filters.size(), base.filters.size()) << what;
+  for (size_t i = 0; i < m.filters.size(); ++i) {
+    EXPECT_EQ(m.filters[i].created, base.filters[i].created)
+        << what << " filter " << i;
+    EXPECT_EQ(m.filters[i].probed, base.filters[i].probed)
+        << what << " filter " << i;
+    EXPECT_EQ(m.filters[i].passed, base.filters[i].passed)
+        << what << " filter " << i;
+    EXPECT_EQ(m.filters[i].inserted, base.filters[i].inserted)
+        << what << " filter " << i;
+  }
+}
+
+int CountOperators(const QueryMetrics& m, OperatorType type) {
+  int n = 0;
+  for (const OperatorStats& op : m.operators) {
+    if (op.type == type) ++n;
+  }
+  return n;
+}
+
+/// Full multi-join star workload: grouped SUM (a multiset-sensitive
+/// aggregate) over a 3-dimension PKFK star, swept over {1,2,4} workers and
+/// all three filter kinds.
+TEST(PipelineParallel, StarSweepAllKindsMatchesSingleThread) {
+  auto db = MakeStarDb(3, 30000, 400, {0.3, 0.6, 0.15}, 77, /*zipf=*/0.6);
+  auto graph = db->Graph();
+  ASSERT_TRUE(graph.ok());
+  Plan plan = BuildRightDeepPlan(graph.value(), {0, 1, 2, 3});
+  PushDownBitvectors(&plan);
+
+  for (FilterKind kind :
+       {FilterKind::kExact, FilterKind::kBloom, FilterKind::kCuckoo}) {
+    ExecutionOptions options;
+    options.filter_config.kind = kind;
+    options.agg.kind = AggKind::kSum;
+    options.agg.sum_column = BoundColumn{0, "measure"};
+    options.agg.has_group_by = true;
+    options.agg.group_column = BoundColumn{1, "d0_id"};
+    const QueryMetrics base = ExecutePlan(plan, options);
+    ASSERT_GT(base.result_rows, 1) << "grouped result expected";
+
+    for (int threads : {2, 4}) {
+      ExecutionOptions parallel = options;
+      parallel.exec.threads = threads;
+      parallel.exec.morsel_rows = 2048;  // several morsels per worker
+      const QueryMetrics m = ExecutePlan(plan, parallel);
+      ExpectRunsEqual(base, m,
+                      std::string(FilterKindName(kind)) + " threads=" +
+                          std::to_string(threads));
+    }
+  }
+}
+
+/// Snowflake: branch predicates sit on the outermost relations, so filters
+/// traverse multi-join branches before reaching the fact scan.
+TEST(PipelineParallel, SnowflakeSweepMatchesSingleThread) {
+  auto db = MakeSnowflakeDb({2, 2}, 20000, 500, 0.5, {0.4, 0.5}, 1234,
+                            /*zipf=*/0.4);
+  auto graph = db->Graph();
+  ASSERT_TRUE(graph.ok());
+  Plan plan = BuildRightDeepPlan(graph.value(), {0, 1, 2, 3, 4});
+  PushDownBitvectors(&plan);
+
+  for (FilterKind kind :
+       {FilterKind::kExact, FilterKind::kBloom, FilterKind::kCuckoo}) {
+    ExecutionOptions options;
+    options.filter_config.kind = kind;
+    const QueryMetrics base = ExecutePlan(plan, options);
+    ASSERT_GT(base.leaf_tuples, 0);
+
+    for (int threads : {2, 4}) {
+      ExecutionOptions parallel = options;
+      parallel.exec.threads = threads;
+      parallel.exec.morsel_rows = 1024;
+      const QueryMetrics m = ExecutePlan(plan, parallel);
+      ExpectRunsEqual(base, m,
+                      std::string("snowflake ") + FilterKindName(kind) +
+                          " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+/// Bushy snowflake plan: the root join's build side is itself a join — its
+/// parallel build drain runs a real scan->probe pipeline (with canonical
+/// reassembly), and one probe chain carries two joins. Relation order in
+/// MakeSnowflakeDb({2,2}): 0=f, 1=b0_1, 2=b0_2, 3=b1_1, 4=b1_2.
+TEST(PipelineParallel, BushyBuildPipelinesMatchSingleThread) {
+  auto db = MakeSnowflakeDb({2, 2}, 20000, 500, 0.5, {0.4, 0.5}, 4321,
+                            /*zipf=*/0.4);
+  auto graph_or = db->Graph();
+  ASSERT_TRUE(graph_or.ok());
+  const JoinGraph& g = graph_or.value();
+
+  Plan plan;
+  plan.graph = &g;
+  // build = (b0_2 HJ b0_1): a scan->probe build pipeline for the root.
+  auto branch0 = MakeJoin(g, MakeLeaf(g, 2), MakeLeaf(g, 1));
+  ASSERT_NE(branch0, nullptr);
+  // probe chain: ((b1_2 HJ b1_1) HJ f) — inner join's build is also a
+  // pipeline (scan b1_1 probing b1_2's filter).
+  auto branch1 = MakeJoin(g, MakeLeaf(g, 4), MakeLeaf(g, 3));
+  ASSERT_NE(branch1, nullptr);
+  auto inner = MakeJoin(g, std::move(branch1), MakeLeaf(g, 0));
+  ASSERT_NE(inner, nullptr);
+  plan.root = MakeJoin(g, std::move(branch0), std::move(inner));
+  ASSERT_NE(plan.root, nullptr);
+  plan.Renumber();
+  ASSERT_TRUE(plan.Validate());
+  PushDownBitvectors(&plan);
+
+  for (FilterKind kind : {FilterKind::kBloom, FilterKind::kCuckoo}) {
+    ExecutionOptions options;
+    options.filter_config.kind = kind;
+    const QueryMetrics base = ExecutePlan(plan, options);
+    ASSERT_GT(base.join_tuples, 0);
+
+    for (int threads : {2, 4}) {
+      ExecutionOptions parallel = options;
+      parallel.exec.threads = threads;
+      parallel.exec.morsel_rows = 1024;
+      const QueryMetrics m = ExecutePlan(plan, parallel);
+      ExpectRunsEqual(base, m,
+                      std::string("bushy ") + FilterKindName(kind) +
+                          " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+/// Sort-merge joins are breakers on both inputs; their materialization
+/// drains wide but the merge itself stays single-threaded. Results and
+/// merged stats must still be thread-count-invariant.
+TEST(PipelineParallel, SortMergeSweepMatchesSingleThread) {
+  auto db = MakeStarDb(2, 15000, 300, {0.4, 0.25}, 31, /*zipf=*/0.5);
+  auto graph = db->Graph();
+  ASSERT_TRUE(graph.ok());
+  Plan plan = BuildRightDeepPlan(graph.value(), {0, 1, 2});
+  PushDownBitvectors(&plan);
+
+  for (FilterKind kind : {FilterKind::kExact, FilterKind::kBloom}) {
+    ExecutionOptions options;
+    options.use_sort_merge_join = true;
+    options.filter_config.kind = kind;
+    const QueryMetrics base = ExecutePlan(plan, options);
+
+    for (int threads : {2, 4}) {
+      ExecutionOptions parallel = options;
+      parallel.exec.threads = threads;
+      parallel.exec.morsel_rows = 1024;
+      const QueryMetrics m = ExecutePlan(plan, parallel);
+      ExpectRunsEqual(base, m,
+                      std::string("sort-merge ") + FilterKindName(kind) +
+                          " threads=" + std::to_string(threads));
+      // No exchange: the plan's top operator is a breaker.
+      EXPECT_EQ(CountOperators(m, OperatorType::kExchange), 0);
+    }
+  }
+}
+
+/// Plan shape: threads=1 must compile the exact single-threaded tree (no
+/// exchange anywhere); threads>1 exactly one exchange, directly below the
+/// aggregate, with bare scans at the leaves.
+TEST(PipelineParallel, CompiledPlanShape) {
+  auto db = MakeStarDb(2, 5000, 100, {0.5, 0.5}, 11);
+  auto graph = db->Graph();
+  ASSERT_TRUE(graph.ok());
+  Plan plan = BuildRightDeepPlan(graph.value(), {0, 1, 2});
+  PushDownBitvectors(&plan);
+
+  for (int threads : {1, 4}) {
+    ExecutionOptions options;
+    options.exec.threads = threads;
+    FilterRuntime runtime;
+    auto agg = CompilePlan(plan, options, &runtime);
+
+    // Walk the tree counting exchanges and recording the aggregate child.
+    int exchanges = 0;
+    bool agg_child_is_exchange = false;
+    std::vector<PhysicalOperator*> stack = {agg.get()};
+    while (!stack.empty()) {
+      PhysicalOperator* op = stack.back();
+      stack.pop_back();
+      for (PhysicalOperator* child : op->children()) {
+        const bool is_exchange =
+            child->stats().type == OperatorType::kExchange;
+        if (is_exchange) {
+          ++exchanges;
+          if (op == agg.get()) agg_child_is_exchange = true;
+        }
+        stack.push_back(child);
+      }
+    }
+    if (threads == 1) {
+      EXPECT_EQ(exchanges, 0);
+    } else {
+      EXPECT_EQ(exchanges, 1);
+      EXPECT_TRUE(agg_child_is_exchange);
+    }
+  }
+}
+
+/// Worker pinning: with threads=N the exchange and every hash-join build
+/// must report N parallel workers in their merged OperatorStats.
+TEST(PipelineParallel, BuildsAndExchangeRunOnNWorkers) {
+  auto db = MakeStarDb(3, 20000, 300, {0.3, 0.6, 0.15}, 77, /*zipf=*/0.6);
+  auto graph = db->Graph();
+  ASSERT_TRUE(graph.ok());
+  Plan plan = BuildRightDeepPlan(graph.value(), {0, 1, 2, 3});
+  PushDownBitvectors(&plan);
+
+  constexpr int kThreads = 4;
+  ExecutionOptions options;
+  options.exec.threads = kThreads;
+  options.exec.morsel_rows = 2048;
+  const QueryMetrics m = ExecutePlan(plan, options);
+
+  int exchanges = 0, joins = 0;
+  for (const OperatorStats& op : m.operators) {
+    if (op.type == OperatorType::kExchange) {
+      ++exchanges;
+      EXPECT_EQ(op.parallel_workers, kThreads) << op.label;
+    }
+    if (op.type == OperatorType::kHashJoin) {
+      ++joins;
+      EXPECT_EQ(op.parallel_workers, kThreads) << op.label;
+    }
+  }
+  EXPECT_EQ(exchanges, 1);
+  EXPECT_EQ(joins, 3);
+
+  // And threads=1 reports everything single-threaded.
+  ExecutionOptions single;
+  const QueryMetrics s = ExecutePlan(plan, single);
+  for (const OperatorStats& op : s.operators) {
+    EXPECT_EQ(op.parallel_workers, 0) << op.label;
+  }
+}
+
+/// FillFilterParallel parity: per-worker partials + MergeFrom must
+/// reproduce the sequential fill — membership set and NumInserted — for
+/// every kind, on a key stream large enough to take the parallel path and
+/// salted with duplicates spanning partition boundaries.
+TEST(PipelineParallel, FillFilterParallelMatchesSequential) {
+  Rng rng(4242);
+  constexpr int64_t kKeys = 60000;
+  std::vector<uint64_t> hashes;
+  hashes.reserve(kKeys);
+  for (int64_t i = 0; i < kKeys; ++i) {
+    // ~25% duplicates, many landing in other workers' partitions.
+    if (i % 4 == 3) {
+      hashes.push_back(hashes[static_cast<size_t>(rng.Next() %
+                                                  static_cast<uint64_t>(i))]);
+    } else {
+      hashes.push_back(rng.Next());
+    }
+  }
+
+  for (FilterKind kind :
+       {FilterKind::kExact, FilterKind::kBloom, FilterKind::kCuckoo}) {
+    FilterConfig config;
+    config.kind = kind;
+    auto sequential = CreateFilter(config, kKeys);
+    for (uint64_t h : hashes) sequential->Insert(h);
+
+    auto parallel = CreateFilter(config, kKeys);
+    ExecConfig exec;
+    exec.threads = 4;
+    FillFilterParallel(parallel.get(), config, hashes.data(), kKeys, exec);
+
+    EXPECT_EQ(parallel->NumInserted(), sequential->NumInserted())
+        << FilterKindName(kind);
+    for (uint64_t h : hashes) {
+      ASSERT_TRUE(parallel->MayContain(h)) << FilterKindName(kind);
+    }
+    // Bit-identical rejection behavior, sampled.
+    for (int i = 0; i < 50000; ++i) {
+      const uint64_t h = rng.Next();
+      ASSERT_EQ(parallel->MayContain(h), sequential->MayContain(h))
+          << FilterKindName(kind);
+    }
+  }
+}
+
+/// Degenerate shapes must not hang or skew: more workers than morsels, one
+/// morsel spanning everything, and an empty probe side.
+TEST(PipelineParallel, DegenerateShapes) {
+  auto db = MakeStarDb(1, 300, 50, {0.5}, 99);
+  auto graph = db->Graph();
+  ASSERT_TRUE(graph.ok());
+  Plan plan = BuildRightDeepPlan(graph.value(), {0, 1});
+  PushDownBitvectors(&plan);
+
+  ExecutionOptions single;
+  const QueryMetrics base = ExecutePlan(plan, single);
+
+  ExecutionOptions parallel;
+  parallel.exec.threads = 8;           // far more workers than morsels
+  parallel.exec.morsel_rows = 100000;  // one morsel takes everything
+  const QueryMetrics m = ExecutePlan(plan, parallel);
+  ExpectRunsEqual(base, m, "degenerate");
+
+  // Empty probe side: a predicate nothing passes.
+  auto empty_db = MakeStarDb(1, 1000, 50, {0.0}, 7);
+  auto empty_graph = empty_db->Graph();
+  ASSERT_TRUE(empty_graph.ok());
+  Plan empty_plan = BuildRightDeepPlan(empty_graph.value(), {0, 1});
+  PushDownBitvectors(&empty_plan);
+  ExecutionOptions par;
+  par.exec.threads = 4;
+  const QueryMetrics e = ExecutePlan(empty_plan, par);
+  const QueryMetrics e1 = ExecutePlan(empty_plan, single);
+  EXPECT_EQ(e.result_checksum, e1.result_checksum);
+  EXPECT_EQ(e.join_tuples, e1.join_tuples);
+}
+
+}  // namespace
+}  // namespace bqo
