@@ -1,15 +1,20 @@
 // Whole-plan pipeline-parallel throughput: wall time for ExecutePlan over a
 // multi-join star query at 1..N workers — parallel hash-join builds,
-// per-worker bitvector-filter partials merged via MergeFrom, and the
-// scan -> probe -> probe chain drained wide behind the top exchange (the
-// shapes CompilePlan emits; see src/exec/pipeline.h). Verifies on every run
-// that the result checksum and the merged filter stats are identical across
-// thread counts — the speedup must be free of semantic drift.
+// per-worker bitvector-filter partials merged via MergeFrom, the
+// scan -> probe -> probe chain drained wide behind the top exchange, and
+// the final aggregate folded into that exchange as per-worker partials
+// merged by the sink (the shapes CompilePlan emits; see
+// src/exec/pipeline.h, src/exec/exchange.h). Both aggregate shapes run:
+// ungrouped SUM (scalar partials) and grouped SUM (hash-map partials, the
+// merge-heavy case). Verifies on every run that the result rows, the
+// checksum, and the merged filter stats are identical across thread
+// counts — the speedup must be free of semantic drift.
 //
-// Prints one machine-readable JSON line per (filter kind, thread count) for
-// the BENCH_*.json trajectory. Every line carries hardware_concurrency, and
-// `valid` is false when the worker count exceeds the hardware threads
-// (flat speedups there are a container artifact, not a regression).
+// Prints one machine-readable JSON line per (filter kind, agg shape,
+// thread count) for the BENCH_*.json trajectory. Every line carries
+// hardware_concurrency, and `valid` is false when the worker count exceeds
+// the hardware threads (flat speedups there are a container artifact, not
+// a regression).
 //
 // Knobs: BQO_FACT_ROWS (default 2M), BQO_DIM_ROWS (default 200k),
 // BQO_MAX_THREADS (default: hardware concurrency, at least 4).
@@ -89,12 +94,19 @@ struct RunResult {
   std::vector<int64_t> probed, passed, inserted;
 };
 
-RunResult RunOnce(const Plan& plan, FilterKind kind, int threads) {
+RunResult RunOnce(const Plan& plan, FilterKind kind, bool grouped,
+                  int threads) {
   ExecutionOptions options;
   options.filter_config.kind = kind;
   options.exec.threads = threads;
   options.agg.kind = AggKind::kSum;
   options.agg.sum_column = BoundColumn{0, "measure"};
+  if (grouped) {
+    // Group on a fact FK: ~dim_rows groups, so every worker's partial map
+    // is large and the sink merge is exercised for real.
+    options.agg.has_group_by = true;
+    options.agg.group_column = BoundColumn{0, "d0_fk"};
+  }
   const QueryMetrics m = ExecutePlan(plan, options);
   RunResult r;
   r.wall_ns = m.total_ns;
@@ -140,37 +152,42 @@ int main() {
   constexpr int kReps = 3;  // min-of-k, warm cache
   for (FilterKind kind :
        {FilterKind::kBloom, FilterKind::kExact, FilterKind::kCuckoo}) {
-    RunResult base;
-    double base_ns = 0;
-    for (int threads = 1; threads <= max_threads; threads *= 2) {
-      RunResult best;
-      best.wall_ns = INT64_MAX;
-      for (int rep = 0; rep < kReps; ++rep) {
-        RunResult r = RunOnce(plan, kind, threads);
-        if (r.wall_ns < best.wall_ns) best = r;
+    for (const bool grouped : {false, true}) {
+      RunResult base;
+      double base_ns = 0;
+      for (int threads = 1; threads <= max_threads; threads *= 2) {
+        RunResult best;
+        best.wall_ns = INT64_MAX;
+        for (int rep = 0; rep < kReps; ++rep) {
+          RunResult r = RunOnce(plan, kind, grouped, threads);
+          if (r.wall_ns < best.wall_ns) best = r;
+        }
+        if (threads == 1) {
+          base = best;
+          base_ns = static_cast<double>(best.wall_ns);
+        } else if (best.checksum != base.checksum ||
+                   best.result_rows != base.result_rows ||
+                   best.probed != base.probed || best.passed != base.passed ||
+                   best.inserted != base.inserted) {
+          std::fprintf(stderr,
+                       "[bench] MISMATCH at kind=%s agg=%s threads=%d — "
+                       "results or merged stats differ from threads=1\n",
+                       FilterKindName(kind), grouped ? "sum_group" : "sum",
+                       threads);
+          return 1;
+        }
+        std::printf(
+            "{\"bench\":\"pipeline_parallel\",\"kind\":\"%s\",\"agg\":\"%s\","
+            "\"threads\":%d,\"hardware_concurrency\":%d,\"fact_rows\":%lld,"
+            "\"result_rows\":%lld,\"wall_ms\":%.2f,\"speedup_vs_1\":%.2f,"
+            "\"valid\":%s}\n",
+            FilterKindName(kind), grouped ? "sum_group" : "sum", threads,
+            hw.ResolvedThreads(), static_cast<long long>(fact_rows),
+            static_cast<long long>(best.result_rows),
+            static_cast<double>(best.wall_ns) / 1e6,
+            base_ns / static_cast<double>(best.wall_ns),
+            threads <= hw.ResolvedThreads() ? "true" : "false");
       }
-      if (threads == 1) {
-        base = best;
-        base_ns = static_cast<double>(best.wall_ns);
-      } else if (best.checksum != base.checksum ||
-                 best.result_rows != base.result_rows ||
-                 best.probed != base.probed || best.passed != base.passed ||
-                 best.inserted != base.inserted) {
-        std::fprintf(stderr,
-                     "[bench] MISMATCH at kind=%s threads=%d — results or "
-                     "merged stats differ from threads=1\n",
-                     FilterKindName(kind), threads);
-        return 1;
-      }
-      std::printf(
-          "{\"bench\":\"pipeline_parallel\",\"kind\":\"%s\",\"threads\":%d,"
-          "\"hardware_concurrency\":%d,\"fact_rows\":%lld,"
-          "\"wall_ms\":%.2f,\"speedup_vs_1\":%.2f,\"valid\":%s}\n",
-          FilterKindName(kind), threads, hw.ResolvedThreads(),
-          static_cast<long long>(fact_rows),
-          static_cast<double>(best.wall_ns) / 1e6,
-          base_ns / static_cast<double>(best.wall_ns),
-          threads <= hw.ResolvedThreads() ? "true" : "false");
     }
   }
   return 0;

@@ -5,10 +5,14 @@
 //  3. Optimize it with the bitvector-aware optimizer (Algorithm 3).
 //  4. Inspect the plan: join order, bitvector filters and their placement
 //     (Algorithm 1), cost-based pruning (Section 6.3).
-//  5. Execute and read the metrics.
+//  5. Execute (pipeline-parallel when BQO_THREADS > 1) and read the
+//     metrics.
 //
-// Build & run:  cmake -B build -G Ninja && cmake --build build
-//               ./build/examples/quickstart
+// Build & run:  cmake -B build -S . && cmake --build build -j --target quickstart
+//               ./build/quickstart          # or BQO_THREADS=4 ./build/quickstart
+//
+// CI builds and runs this file as a smoke test, so it stays in sync with
+// the public API (.github/workflows/ci.yml, job "quickstart").
 #include <cstdio>
 
 #include "src/common/string_util.h"
@@ -83,6 +87,7 @@ int main() {
   // ---- 5. Execute ------------------------------------------------------
   ExecutionOptions exec;
   exec.agg = query.agg;
+  exec.exec = ExecConfigFromEnv();  // BQO_THREADS=N runs pipeline-parallel
   const QueryMetrics metrics = ExecutePlan(optimized.plan, exec);
   std::printf("executed in %.2f ms; intermediate tuples: %s\n",
               static_cast<double>(metrics.total_ns) / 1e6,

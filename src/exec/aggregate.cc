@@ -1,24 +1,56 @@
 #include "src/exec/aggregate.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/common/hash.h"
+#include "src/exec/exchange.h"
 
 namespace bqo {
+
+void PartialAggState::MergeFrom(PartialAggState&& other) {
+  if (groups.empty()) {
+    groups = std::move(other.groups);
+  } else {
+    for (const auto& [g, v] : other.groups) groups[g] += v;
+  }
+  total += other.total;
+  rows_folded += other.rows_folded;
+}
+
+AggFold AggFold::Resolve(const AggSpec& spec,
+                         const OutputSchema& child_schema) {
+  AggFold fold;
+  fold.kind = spec.kind;
+  fold.has_group_by = spec.has_group_by;
+  if (spec.kind == AggKind::kSum) {
+    fold.sum_pos = child_schema.PositionOf(spec.sum_column);
+    BQO_CHECK_MSG(fold.sum_pos >= 0, "SUM column missing from child schema");
+  }
+  if (spec.has_group_by) {
+    fold.group_pos = child_schema.PositionOf(spec.group_column);
+    BQO_CHECK_MSG(fold.group_pos >= 0, "GROUP BY column missing from child");
+  }
+  return fold;
+}
+
+void AggFold::Fold(const Batch& batch, PartialAggState* state) const {
+  const int64_t* sums = sum_pos >= 0 ? batch.col(sum_pos) : nullptr;
+  const int64_t* keys = group_pos >= 0 ? batch.col(group_pos) : nullptr;
+  for (int r = 0; r < batch.num_rows; ++r) {
+    const int64_t v = kind == AggKind::kSum ? sums[r] : 1;
+    if (keys != nullptr) state->groups[keys[r]] += v;
+    state->total += v;
+  }
+  state->rows_folded += batch.num_rows;
+}
 
 AggregateOperator::AggregateOperator(
     std::unique_ptr<PhysicalOperator> child, AggSpec spec)
     : child_(std::move(child)), spec_(spec) {
   stats_.type = OperatorType::kAggregate;
   stats_.label = "aggregate";
-  if (spec_.kind == AggKind::kSum) {
-    sum_pos_ = child_->output_schema().PositionOf(spec_.sum_column);
-    BQO_CHECK_MSG(sum_pos_ >= 0, "SUM column missing from child schema");
-  }
-  if (spec_.has_group_by) {
-    group_pos_ = child_->output_schema().PositionOf(spec_.group_column);
-    BQO_CHECK_MSG(group_pos_ >= 0, "GROUP BY column missing from child");
-  }
+  fold_ = AggFold::Resolve(spec_, child_->output_schema());
   // Output schema: (group key,) aggregate value — synthetic bound columns.
   std::vector<BoundColumn> out_cols;
   if (spec_.has_group_by) out_cols.push_back(spec_.group_column);
@@ -28,36 +60,41 @@ AggregateOperator::AggregateOperator(
 void AggregateOperator::Open() {
   TimerGuard timer(&stats_);
   child_->Open();
-  groups_.clear();
-  total_ = 0;
+  state_ = PartialAggState{};
   checksum_ = 0;
   emitted_ = false;
 
-  Batch batch;
-  while (child_->Next(&batch)) {
-    const int64_t* sums = sum_pos_ >= 0 ? batch.col(sum_pos_) : nullptr;
-    const int64_t* keys = group_pos_ >= 0 ? batch.col(group_pos_) : nullptr;
-    for (int r = 0; r < batch.num_rows; ++r) {
-      const int64_t v = spec_.kind == AggKind::kSum ? sums[r] : 1;
-      if (keys != nullptr) groups_[keys[r]] += v;
-      total_ += v;
+  auto* preagg = dynamic_cast<ExchangeOperator*>(child_.get());
+  if (preagg != nullptr && preagg->pre_aggregating()) {
+    // Pipeline-parallel sink: the exchange workers already folded their
+    // probe-chain output thread-locally; merge the partials. MergeFrom is
+    // exact for any partition and merge order (aggregate.h), so the merged
+    // state equals the single-threaded fold bit-for-bit.
+    for (PartialAggState& partial : preagg->DrainPartials()) {
+      state_.MergeFrom(std::move(partial));
     }
+  } else {
+    Batch batch;
+    while (child_->Next(&batch)) fold_.Fold(batch, &state_);
   }
+  stats_.agg_rows_folded = state_.rows_folded;
+  stats_.rows_prefilter = state_.rows_folded;
 
-  // Order-independent checksum: XOR-sum of hashed (group, value) pairs.
+  // Order-independent checksum: sum of hashed (group, value) pairs —
+  // independent of map iteration order, hence of the merge history.
   // Group keys are also snapshotted so Next() can emit them in
   // batch-capacity chunks (Batch storage is fixed at kBatchSize rows).
   group_keys_.clear();
   emit_cursor_ = 0;
   if (spec_.has_group_by) {
-    group_keys_.reserve(groups_.size());
-    for (const auto& [g, v] : groups_) {
+    group_keys_.reserve(state_.groups.size());
+    for (const auto& [g, v] : state_.groups) {
       group_keys_.push_back(g);
       checksum_ += Mix64(HashCombine(HashValue(static_cast<uint64_t>(g)),
                                      static_cast<uint64_t>(v)));
     }
   } else {
-    checksum_ = HashValue(static_cast<uint64_t>(total_));
+    checksum_ = HashValue(static_cast<uint64_t>(state_.total));
   }
 }
 

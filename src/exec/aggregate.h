@@ -1,8 +1,42 @@
-// Aggregation: COUNT(*) / SUM(col), optionally grouped by one column.
+// Aggregation: COUNT(*) / SUM(col), optionally grouped by one column —
+// executed as fold + merge so the final aggregate can run pipeline-parallel.
 //
-// Decision-support queries end in an aggregate; its output also provides an
-// order-independent checksum used by the tests to prove that different join
-// orders (and filter placements) compute the same result.
+// == The partial-aggregation model ==
+//
+// The aggregate is decomposed into three pieces:
+//
+//  * AggFold — an AggSpec resolved against a child schema (column positions
+//    for the SUM input and the group key). Folding is stateless w.r.t. the
+//    operator: any thread may fold batches through the same AggFold.
+//  * PartialAggState — the mutable accumulator one thread folds into: a
+//    group -> value hash map for GROUP BY, a scalar total otherwise, plus
+//    the per-worker input-row counter that metrics.h's merge-once
+//    discipline requires. Partials merge by key-wise addition
+//    (MergeFrom), which is exact because both COUNT(*) and SUM are
+//    commutative + associative folds: any partition of the input rows
+//    into partials, merged in any order, yields the same group map and
+//    total as the single-threaded left-to-right fold.
+//  * AggregateOperator — the sink. Single-threaded (threads == 1, or a
+//    breaker such as a sort-merge join at the plan root) it folds its
+//    child's batches into one PartialAggState itself. Pipeline-parallel,
+//    the executor compiles the fold *into* the ExchangeOperator below it
+//    (exchange.h pre-aggregating drain): each exchange worker folds its
+//    probe-chain output thread-locally, and the sink merges the per-worker
+//    partials instead of consuming raw batches — no serial consume loop,
+//    no raw-batch queue traffic above the top probe chain.
+//
+// == Checksum merge-order independence ==
+//
+// ResultChecksum() is the *sum* over groups of Mix64(hash(group, value)),
+// computed on the fully merged state (and HashValue(total) when ungrouped).
+// Summation commutes, so the checksum is independent of group enumeration
+// order — and therefore of the hash-map iteration order, which differs
+// between a merged map and a single-threaded one even when their contents
+// are identical. Together with the exactness of MergeFrom this gives the
+// engine-wide parity invariant, pinned by tests/test_pipeline_parallel.cc:
+// ResultChecksum(), NumGroups(), and TotalValue() at any thread count equal
+// the threads == 1 values exactly. The checksum's order independence is
+// also what lets the plan-equivalence tests compare different join orders.
 #pragma once
 
 #include <memory>
@@ -21,10 +55,44 @@ struct AggSpec {
   BoundColumn group_column;  ///< if has_group_by
 };
 
+/// \brief One thread's aggregate accumulator. Fold rows in via
+/// AggFold::Fold; combine partials with MergeFrom.
+struct PartialAggState {
+  std::unordered_map<int64_t, int64_t> groups;  ///< GROUP BY only
+  int64_t total = 0;      ///< SUM over all rows; row count for COUNT(*)
+  int64_t rows_folded = 0;  ///< input rows this partial consumed
+
+  /// \brief Key-wise addition of `other` into this partial. Exact: COUNT
+  /// and SUM are commutative + associative, so merged partials reproduce
+  /// the single-threaded fold for any input partition and merge order.
+  void MergeFrom(PartialAggState&& other);
+};
+
+/// \brief An AggSpec resolved against a concrete child schema: the fold
+/// kernel shared by the single-threaded sink and the pre-aggregating
+/// exchange workers. Read-only after Resolve, so concurrent folds into
+/// distinct PartialAggStates need no synchronization.
+struct AggFold {
+  AggKind kind = AggKind::kCountStar;
+  bool has_group_by = false;
+  int sum_pos = -1;    ///< kSum: position of the SUM column in the child
+  int group_pos = -1;  ///< has_group_by: position of the group key
+
+  /// \brief Resolve `spec`'s columns against `child_schema` (CHECKs that
+  /// they are present).
+  static AggFold Resolve(const AggSpec& spec, const OutputSchema& child_schema);
+
+  /// \brief Fold one batch into `state`.
+  void Fold(const Batch& batch, PartialAggState* state) const;
+};
+
 class AggregateOperator final : public PhysicalOperator {
  public:
   AggregateOperator(std::unique_ptr<PhysicalOperator> child, AggSpec spec);
 
+  /// Open() consumes the whole input: either by folding the child's batches
+  /// itself, or — when the child is a pre-aggregating ExchangeOperator —
+  /// by merging the per-worker partials the exchange drained in parallel.
   void Open() override;
   bool Next(Batch* out) override;
   void Close() override;
@@ -33,23 +101,24 @@ class AggregateOperator final : public PhysicalOperator {
     return {child_.get()};
   }
 
-  /// \brief Order-independent hash of the full result set.
+  /// \brief Order-independent hash of the full result set (see the header
+  /// comment on merge-order independence).
   uint64_t ResultChecksum() const { return checksum_; }
-  int64_t NumGroups() const { return static_cast<int64_t>(groups_.size()); }
+  int64_t NumGroups() const {
+    return static_cast<int64_t>(state_.groups.size());
+  }
   /// \brief Total aggregate value (sum over groups); COUNT(*) of the join
   /// when ungrouped.
-  int64_t TotalValue() const { return total_; }
+  int64_t TotalValue() const { return state_.total; }
 
  private:
   std::unique_ptr<PhysicalOperator> child_;
   AggSpec spec_;
-  int sum_pos_ = -1;
-  int group_pos_ = -1;
+  AggFold fold_;
 
-  std::unordered_map<int64_t, int64_t> groups_;
+  PartialAggState state_;            ///< fully merged at the end of Open()
   std::vector<int64_t> group_keys_;  ///< snapshot for chunked emission
   size_t emit_cursor_ = 0;
-  int64_t total_ = 0;
   uint64_t checksum_ = 0;
   bool emitted_ = false;
 };

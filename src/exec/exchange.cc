@@ -22,6 +22,12 @@ ExchangeOperator::~ExchangeOperator() {
   Shutdown();
 }
 
+void ExchangeOperator::EnablePreAggregation(const AggSpec& spec) {
+  BQO_CHECK_MSG(threads_.empty(), "EnablePreAggregation before Open");
+  fold_ = AggFold::Resolve(spec, child_->output_schema());
+  preagg_ = true;
+}
+
 void ExchangeOperator::Open() {
   TimerGuard timer(&stats_);
   // Opening the child runs every hash-join build below (wide themselves
@@ -37,6 +43,8 @@ void ExchangeOperator::Open() {
   active_producers_ = num_workers;
   ready_.clear();
   recycled_.clear();
+  partials_.assign(preagg_ ? static_cast<size_t>(num_workers) : 0,
+                   PartialAggState{});
 
   workers_.assign(static_cast<size_t>(num_workers), PipelineWorkerState{});
   for (auto& ws : workers_) InitPipelineWorker(pipe_, &ws);
@@ -48,24 +56,37 @@ void ExchangeOperator::Open() {
 
 void ExchangeOperator::WorkerMain(int worker_index) {
   PipelineWorkerState& ws = workers_[static_cast<size_t>(worker_index)];
+  PartialAggState* partial =
+      preagg_ ? &partials_[static_cast<size_t>(worker_index)] : nullptr;
   Batch batch;
   for (;;) {
     {
+      // Per-batch cancellation point for both modes: Shutdown() on an
+      // early teardown (Close without a drain, destructor) must not have
+      // to wait for the whole scan to run dry.
       std::lock_guard<std::mutex> lock(mu_);
       if (abort_) break;
-      if (!recycled_.empty()) {
+      if (!preagg_ && !recycled_.empty()) {
         batch = std::move(recycled_.back());
         recycled_.pop_back();
       }
     }
     const auto start = std::chrono::steady_clock::now();
     const bool produced = PipelineParallelNext(pipe_, &batch, &ws);
+    if (produced && partial != nullptr) {
+      // Pre-aggregating drain: fold thread-locally, reuse the batch
+      // storage, never touch the queue. busy_ns below covers the fold too
+      // (the whole per-worker pipeline including its sink stage).
+      fold_.Fold(batch, partial);
+      batch.num_rows = 0;
+    }
     // Whole-pipeline worker time accumulates on the source scan's counter
     // (see metrics.h on CPU-vs-wall attribution under parallelism).
     ws.scan.busy_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
                            std::chrono::steady_clock::now() - start)
                            .count();
     if (!produced) break;
+    if (partial != nullptr) continue;
 
     std::unique_lock<std::mutex> lock(mu_);
     can_push_.wait(lock, [this] { return ready_.size() < capacity_ || abort_; });
@@ -80,6 +101,8 @@ void ExchangeOperator::WorkerMain(int worker_index) {
 
 bool ExchangeOperator::Next(Batch* out) {
   TimerGuard timer(&stats_);
+  BQO_CHECK_MSG(!preagg_, "pre-aggregating exchange has no batch output; "
+                          "use DrainPartials()");
   std::unique_lock<std::mutex> lock(mu_);
   can_pop_.wait(lock,
                 [this] { return !ready_.empty() || active_producers_ == 0; });
@@ -101,6 +124,31 @@ bool ExchangeOperator::Next(Batch* out) {
   return true;
 }
 
+std::vector<PartialAggState> ExchangeOperator::DrainPartials() {
+  TimerGuard timer(&stats_);
+  BQO_CHECK_MSG(preagg_, "DrainPartials requires pre-aggregation mode");
+  // Pre-aggregating workers never block on the queue, so they run to scan
+  // exhaustion on their own: join without raising abort_ (which could stop
+  // a worker between morsels and lose folded rows).
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+  for (auto& ws : workers_) MergePipelineWorkerStats(pipe_, &ws);
+  workers_.clear();
+
+  std::vector<PartialAggState> out = std::move(partials_);
+  partials_.clear();
+  for (const PartialAggState& p : out) {
+    // Per-worker agg counters, merged exactly once (metrics.h). The input
+    // rows the fold consumed are this operator's throughput: report them
+    // as rows in == rows out, like the raw mode's pass-through Next().
+    stats_.agg_rows_folded += p.rows_folded;
+    stats_.agg_partial_groups += static_cast<int64_t>(p.groups.size());
+    stats_.rows_prefilter += p.rows_folded;
+    stats_.rows_out += p.rows_folded;
+  }
+  return out;
+}
+
 void ExchangeOperator::Shutdown() {
   if (threads_.empty()) return;
   {
@@ -114,6 +162,7 @@ void ExchangeOperator::Shutdown() {
   workers_.clear();
   ready_.clear();
   recycled_.clear();
+  partials_.clear();
 }
 
 void ExchangeOperator::Close() {

@@ -4,23 +4,40 @@
 // The wrapped child is any parallelizable probe pipeline (pipeline.h): a
 // bare scan, or a scan -> probe -> ... -> probe chain of hash joins. Open()
 // first opens the child — which runs every hash-join build below, itself
-// wide — then spawns N workers that pull scan morsels off the shared cursor,
-// stream them through the whole probe chain thread-locally, and push the
-// resulting batches into a bounded queue; Next() pops batches for the
-// single-threaded consumer above (the aggregate). Parallelism therefore
-// stops at the plan's final breaker, not at the leaves: the executor
-// compiles exactly one exchange, directly below the aggregate, when the
-// topmost pipeline is parallelizable (executor.cc).
+// wide — then spawns N workers that pull scan morsels off the shared cursor
+// and stream them through the whole probe chain thread-locally. What the
+// workers do with the produced batches depends on the drain mode:
+//
+//  * Raw mode (the default): workers push batches into a bounded queue;
+//    Next() pops them for the single-threaded consumer above. Batch order
+//    in the queue is nondeterministic, but the consumers above (aggregate,
+//    result checksum) are order-independent, so query results are identical
+//    to threads=1.
+//  * Pre-aggregating mode (EnablePreAggregation, compiled in by the
+//    executor when the exchange's consumer is the final aggregate): each
+//    worker folds its batches straight into a thread-local PartialAggState
+//    (aggregate.h) — the queue is bypassed entirely and the batches are
+//    recycled worker-locally, so no raw intermediate rows cross threads
+//    above the top probe chain. The aggregate sink then calls
+//    DrainPartials(), which joins the workers and hands back the per-worker
+//    partials for the exact merge (MergeFrom commutes; see aggregate.h).
+//    Next() must not be called in this mode.
+//
+// Parallelism therefore stops at the plan's final breaker, not at the
+// leaves: the executor compiles exactly one exchange, directly below the
+// aggregate, when the topmost pipeline is parallelizable (executor.cc) —
+// and in pre-aggregating mode the "breaker" work itself (the fold) runs
+// wide too, leaving only the group-map merge serial.
 //
 // Stats discipline: workers accumulate FilterStats/OperatorStats deltas in
 // their private PipelineWorkerState (scan scratch + per-join ProbeStates);
-// Close() joins every worker and merges the deltas into the shared counters
-// exactly once, so the merged probed/passed counts — at the scan's
-// pushed-down filters and at every join's residual filters — equal the
-// single-threaded run's (the observed-lambda numbers of Section 6.3 stay
-// exact under parallelism). Batch order in the queue is nondeterministic,
-// but the consumers above (aggregate, result checksum) are
-// order-independent, so query results are identical to threads=1.
+// DrainPartials()/Close() joins every worker and merges the deltas into the
+// shared counters exactly once, so the merged probed/passed counts — at the
+// scan's pushed-down filters and at every join's residual filters — equal
+// the single-threaded run's (the observed-lambda numbers of Section 6.3
+// stay exact under parallelism). In pre-aggregating mode the per-worker
+// agg counters (rows folded, partial group counts) merge into this
+// operator's agg_rows_folded / agg_partial_groups the same way (metrics.h).
 #pragma once
 
 #include <condition_variable>
@@ -30,6 +47,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/exec/aggregate.h"
 #include "src/exec/exec_config.h"
 #include "src/exec/pipeline.h"
 
@@ -44,9 +62,23 @@ class ExchangeOperator final : public PhysicalOperator {
                    std::string label);
   ~ExchangeOperator() override;
 
+  /// \brief Switch to the pre-aggregating drain: workers fold their output
+  /// into thread-local partials instead of queueing raw batches. Resolves
+  /// `spec` against the child schema (CHECKs on missing columns). Must be
+  /// called before Open(); the consumer must use DrainPartials(), not
+  /// Next().
+  void EnablePreAggregation(const AggSpec& spec);
+  bool pre_aggregating() const { return preagg_; }
+
   void Open() override;
   bool Next(Batch* out) override;
   void Close() override;
+
+  /// \brief Pre-aggregating mode only: wait for every worker to exhaust the
+  /// scan cursor, merge their pipeline stats (exactly once), and return the
+  /// per-worker partial aggregates for the sink to merge. Call once per
+  /// Open().
+  std::vector<PartialAggState> DrainPartials();
 
   std::vector<PhysicalOperator*> children() override {
     return {child_.get()};
@@ -61,12 +93,16 @@ class ExchangeOperator final : public PhysicalOperator {
   Pipeline pipe_;  ///< decomposition of child_ (source + probe stages)
   ExecConfig config_;
 
+  bool preagg_ = false;
+  AggFold fold_;  ///< pre-aggregating mode: the shared fold kernel
+  std::vector<PartialAggState> partials_;  ///< one per worker
+
   std::vector<std::thread> threads_;
   std::vector<PipelineWorkerState> workers_;
 
-  // Bounded MPSC queue. `ready_` holds produced batches; `recycled_` holds
-  // consumed batches whose flat storage workers reuse, so steady-state
-  // operation allocates nothing.
+  // Bounded MPSC queue (raw mode only). `ready_` holds produced batches;
+  // `recycled_` holds consumed batches whose flat storage workers reuse, so
+  // steady-state operation allocates nothing.
   std::mutex mu_;
   std::condition_variable can_push_;  ///< signaled when ready_ drains/aborts
   std::condition_variable can_pop_;   ///< signaled on push / last producer

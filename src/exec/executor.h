@@ -18,13 +18,19 @@
 //  * The topmost probe chain (scan -> probe -> ... -> probe) runs wide
 //    behind a single ExchangeOperator compiled directly below the
 //    aggregate — parallelism stops at the final breaker, not at the leaves.
+//  * The final aggregate is compiled *into* that exchange (pre-aggregating
+//    drain, exchange.h): each worker folds its probe-chain output into a
+//    thread-local PartialAggState and the AggregateOperator sink merges the
+//    per-worker partials — no serial consume loop and no raw-batch queue
+//    above the top probe chain.
 //
 // The recursive Open() order still realizes Algorithm 1's filter-dependency
 // order: every build pipeline (and the filter it creates) completes before
 // the probe pipeline that consumes the filter starts. threads == 1 compiles
 // the exact single-threaded plan; at any thread count the merged
-// probed/passed/ObservedLambda counters equal the single-threaded counts
-// (per-worker accumulate, merge-once — see metrics.h).
+// probed/passed/ObservedLambda counters — and the aggregate's
+// ResultChecksum()/NumGroups()/TotalValue() — equal the single-threaded
+// values (per-worker accumulate, merge-once — see metrics.h, aggregate.h).
 #pragma once
 
 #include <memory>

@@ -32,6 +32,24 @@ struct OperatorStats {
   /// exchange's probe-pipeline draining, or a hash-join/sort-merge build
   /// drain. 0 = the phase ran single-threaded.
   int parallel_workers = 0;
+
+  // == Aggregation counters (kAggregate, and kExchange in pre-aggregating
+  // mode) ==
+  //
+  // Per-worker accumulation, merged once (same discipline as FilterStats
+  // below): each pre-aggregating exchange worker counts the rows it folds
+  // into its thread-local PartialAggState; DrainPartials() sums them into
+  // the exchange's counters after joining the workers, and the aggregate
+  // sink records the merged totals. agg_rows_folded is therefore exactly
+  // the single-threaded aggregate's input row count at every thread count.
+
+  /// Input rows folded into (partial) aggregate state at this operator.
+  int64_t agg_rows_folded = 0;
+  /// Pre-aggregating exchange only: sum of per-worker partial group-map
+  /// sizes before the sink merge. >= the final NumGroups() whenever a group
+  /// key was seen by more than one worker; the gap measures how much
+  /// duplicate-group merge work the sink did.
+  int64_t agg_partial_groups = 0;
 };
 
 /// Per-filter build/probe counters.

@@ -11,6 +11,12 @@
 //    per-type tuple counts, and merged probed/passed/inserted byte-equal.
 //  * FillFilterParallel reproduces the sequential filter (membership and
 //    NumInserted) from per-worker partials merged via MergeFrom.
+//  * The aggregate parity invariant: with threads > 1 the final aggregate
+//    runs as per-worker partial folds inside the pre-aggregating exchange,
+//    and the merged ResultChecksum()/NumGroups()/TotalValue() equal the
+//    threads == 1 values exactly — for grouped (kSum + GROUP BY) and
+//    ungrouped aggregates, over star, snowflake, bushy, and sort-merge
+//    plans, including empty-result and single-group edge cases.
 //
 // Run under -DBQO_SANITIZE=thread in CI to pin race-freedom, and under
 // -DBQO_SANITIZE=address,undefined for memory/UB.
@@ -321,6 +327,246 @@ TEST(PipelineParallel, FillFilterParallelMatchesSequential) {
           << FilterKindName(kind);
     }
   }
+}
+
+// ---- Aggregate parity: the pre-aggregating exchange ----
+
+/// The aggregate's own accessors after a full run of the compiled plan.
+struct AggRun {
+  uint64_t checksum = 0;
+  int64_t num_groups = 0;
+  int64_t total = 0;
+  int64_t rows_emitted = 0;
+  int64_t rows_folded = 0;  ///< aggregate input rows (agg_rows_folded)
+};
+
+AggRun RunAggregate(const Plan& plan, const ExecutionOptions& options) {
+  FilterRuntime runtime;
+  auto agg = CompilePlan(plan, options, &runtime);
+  agg->Open();
+  Batch batch;
+  AggRun r;
+  while (agg->Next(&batch)) r.rows_emitted += batch.num_rows;
+  agg->Close();
+  r.checksum = agg->ResultChecksum();
+  r.num_groups = agg->NumGroups();
+  r.total = agg->TotalValue();
+  r.rows_folded = agg->stats().agg_rows_folded;
+  return r;
+}
+
+/// Sweep `options.agg` over {1,2,4} workers and pin every aggregate
+/// accessor — checksum, group count, total, emitted rows, and the merged
+/// per-worker input-row counter — to the threads == 1 values.
+void ExpectAggParity(const Plan& plan, ExecutionOptions options,
+                     const std::string& what) {
+  options.exec.threads = 1;
+  const AggRun base = RunAggregate(plan, options);
+  for (int threads : {2, 4}) {
+    options.exec.threads = threads;
+    options.exec.morsel_rows = 1024;
+    const AggRun r = RunAggregate(plan, options);
+    const std::string label = what + " threads=" + std::to_string(threads);
+    EXPECT_EQ(r.checksum, base.checksum) << label;
+    EXPECT_EQ(r.num_groups, base.num_groups) << label;
+    EXPECT_EQ(r.total, base.total) << label;
+    EXPECT_EQ(r.rows_emitted, base.rows_emitted) << label;
+    EXPECT_EQ(r.rows_folded, base.rows_folded) << label;
+  }
+}
+
+ExecutionOptions GroupedSumOptions(FilterKind kind) {
+  ExecutionOptions options;
+  options.filter_config.kind = kind;
+  options.agg.kind = AggKind::kSum;
+  options.agg.sum_column = BoundColumn{0, "measure"};
+  options.agg.has_group_by = true;
+  options.agg.group_column = BoundColumn{1, "d0_id"};
+  return options;
+}
+
+/// Grouped SUM and both ungrouped kinds over a star plan: the merged
+/// partial aggregates must reproduce the single-threaded fold exactly.
+TEST(PipelineParallelAgg, StarGroupedAndUngroupedParity) {
+  auto db = MakeStarDb(3, 30000, 400, {0.3, 0.6, 0.15}, 177, /*zipf=*/0.6);
+  auto graph = db->Graph();
+  ASSERT_TRUE(graph.ok());
+  Plan plan = BuildRightDeepPlan(graph.value(), {0, 1, 2, 3});
+  PushDownBitvectors(&plan);
+
+  for (FilterKind kind :
+       {FilterKind::kExact, FilterKind::kBloom, FilterKind::kCuckoo}) {
+    ExecutionOptions grouped = GroupedSumOptions(kind);
+    {
+      ExecutionOptions check = grouped;
+      check.exec.threads = 1;
+      const AggRun base = RunAggregate(plan, check);
+      ASSERT_GT(base.num_groups, 1) << "grouped result expected";
+      ASSERT_GT(base.total, 0);
+    }
+    ExpectAggParity(plan, grouped,
+                    std::string("star grouped ") + FilterKindName(kind));
+
+    ExecutionOptions count;
+    count.filter_config.kind = kind;
+    ExpectAggParity(plan, count,
+                    std::string("star count ") + FilterKindName(kind));
+
+    ExecutionOptions sum;
+    sum.filter_config.kind = kind;
+    sum.agg.kind = AggKind::kSum;
+    sum.agg.sum_column = BoundColumn{0, "measure"};
+    ExpectAggParity(plan, sum,
+                    std::string("star sum ") + FilterKindName(kind));
+  }
+}
+
+/// Snowflake plan, grouped on a branch relation's key.
+TEST(PipelineParallelAgg, SnowflakeGroupedParity) {
+  auto db = MakeSnowflakeDb({2, 2}, 20000, 500, 0.5, {0.4, 0.5}, 2334,
+                            /*zipf=*/0.4);
+  auto graph = db->Graph();
+  ASSERT_TRUE(graph.ok());
+  Plan plan = BuildRightDeepPlan(graph.value(), {0, 1, 2, 3, 4});
+  PushDownBitvectors(&plan);
+
+  ExecutionOptions options;
+  options.agg.kind = AggKind::kSum;
+  options.agg.sum_column = BoundColumn{0, "measure"};
+  options.agg.has_group_by = true;
+  options.agg.group_column = BoundColumn{1, "b0_1_id"};
+  ExpectAggParity(plan, options, "snowflake grouped");
+}
+
+/// Bushy plan: the probe chain above the exchange carries two joins and the
+/// root build is itself a join; the pre-aggregated fold must still match.
+TEST(PipelineParallelAgg, BushyGroupedParity) {
+  auto db = MakeSnowflakeDb({2, 2}, 20000, 500, 0.5, {0.4, 0.5}, 5321,
+                            /*zipf=*/0.4);
+  auto graph_or = db->Graph();
+  ASSERT_TRUE(graph_or.ok());
+  const JoinGraph& g = graph_or.value();
+
+  Plan plan;
+  plan.graph = &g;
+  auto branch0 = MakeJoin(g, MakeLeaf(g, 2), MakeLeaf(g, 1));
+  ASSERT_NE(branch0, nullptr);
+  auto branch1 = MakeJoin(g, MakeLeaf(g, 4), MakeLeaf(g, 3));
+  ASSERT_NE(branch1, nullptr);
+  auto inner = MakeJoin(g, std::move(branch1), MakeLeaf(g, 0));
+  ASSERT_NE(inner, nullptr);
+  plan.root = MakeJoin(g, std::move(branch0), std::move(inner));
+  ASSERT_NE(plan.root, nullptr);
+  plan.Renumber();
+  ASSERT_TRUE(plan.Validate());
+  PushDownBitvectors(&plan);
+
+  ExecutionOptions options;
+  options.agg.kind = AggKind::kSum;
+  options.agg.sum_column = BoundColumn{0, "measure"};
+  options.agg.has_group_by = true;
+  options.agg.group_column = BoundColumn{1, "b0_1_id"};
+  ExpectAggParity(plan, options, "bushy grouped");
+}
+
+/// Sort-merge root: a breaker at the top, so there is no exchange and the
+/// aggregate folds single-threaded at every thread count — the accessors
+/// must still be thread-count-invariant.
+TEST(PipelineParallelAgg, SortMergeGroupedParity) {
+  auto db = MakeStarDb(2, 15000, 300, {0.4, 0.25}, 131, /*zipf=*/0.5);
+  auto graph = db->Graph();
+  ASSERT_TRUE(graph.ok());
+  Plan plan = BuildRightDeepPlan(graph.value(), {0, 1, 2});
+  PushDownBitvectors(&plan);
+
+  ExecutionOptions options = GroupedSumOptions(FilterKind::kBloom);
+  options.use_sort_merge_join = true;
+  ExpectAggParity(plan, options, "sort-merge grouped");
+}
+
+/// Empty result: a predicate nothing passes. Zero groups, zero total, zero
+/// rows emitted — at every thread count.
+TEST(PipelineParallelAgg, EmptyResultGroupedParity) {
+  auto db = MakeStarDb(1, 1000, 50, {0.0}, 907);
+  auto graph = db->Graph();
+  ASSERT_TRUE(graph.ok());
+  Plan plan = BuildRightDeepPlan(graph.value(), {0, 1});
+  PushDownBitvectors(&plan);
+
+  ExecutionOptions options = GroupedSumOptions(FilterKind::kExact);
+  {
+    ExecutionOptions check = options;
+    const AggRun base = RunAggregate(plan, check);
+    ASSERT_EQ(base.num_groups, 0);
+    ASSERT_EQ(base.total, 0);
+    ASSERT_EQ(base.rows_emitted, 0);
+  }
+  ExpectAggParity(plan, options, "empty grouped");
+}
+
+/// Single group: the dimension is pinned to one row by an equality
+/// predicate and the query groups by its key, so every worker's partial
+/// lands in the same group and the sink merge collapses them to one.
+TEST(PipelineParallelAgg, SingleGroupParity) {
+  auto db = MakeStarDb(1, 20000, 50, {-1.0}, 412);
+  db->spec.relations[1].predicate = Eq("d0_id", 7);
+  auto graph = db->Graph();
+  ASSERT_TRUE(graph.ok());
+  Plan plan = BuildRightDeepPlan(graph.value(), {0, 1});
+  PushDownBitvectors(&plan);
+
+  ExecutionOptions options = GroupedSumOptions(FilterKind::kExact);
+  {
+    const AggRun base = RunAggregate(plan, options);
+    ASSERT_EQ(base.num_groups, 1);
+    ASSERT_GT(base.total, 0);
+  }
+  ExpectAggParity(plan, options, "single group");
+}
+
+/// Compiled shape and merged counters of the pre-aggregating drain: with
+/// threads > 1 the aggregate's child is a pre-aggregating exchange, the
+/// merged agg_rows_folded on both operators equals the single-threaded
+/// aggregate input, and the partial group count is at least the final one.
+TEST(PipelineParallelAgg, PreAggShapeAndCounters) {
+  auto db = MakeStarDb(2, 20000, 300, {0.4, 0.5}, 88, /*zipf=*/0.5);
+  auto graph = db->Graph();
+  ASSERT_TRUE(graph.ok());
+  Plan plan = BuildRightDeepPlan(graph.value(), {0, 1, 2});
+  PushDownBitvectors(&plan);
+
+  ExecutionOptions options = GroupedSumOptions(FilterKind::kBloom);
+  {
+    FilterRuntime runtime;
+    options.exec.threads = 4;
+    auto agg = CompilePlan(plan, options, &runtime);
+    auto* exchange = dynamic_cast<ExchangeOperator*>(agg->children()[0]);
+    ASSERT_NE(exchange, nullptr);
+    EXPECT_TRUE(exchange->pre_aggregating());
+  }
+
+  options.exec.threads = 1;
+  const QueryMetrics base = ExecutePlan(plan, options);
+  int64_t base_folded = 0;
+  for (const OperatorStats& op : base.operators) {
+    if (op.type == OperatorType::kAggregate) base_folded = op.agg_rows_folded;
+  }
+  ASSERT_GT(base_folded, 0);
+
+  options.exec.threads = 4;
+  options.exec.morsel_rows = 1024;
+  const QueryMetrics m = ExecutePlan(plan, options);
+  const int64_t final_groups = m.result_rows;
+  for (const OperatorStats& op : m.operators) {
+    if (op.type == OperatorType::kAggregate) {
+      EXPECT_EQ(op.agg_rows_folded, base_folded);
+    }
+    if (op.type == OperatorType::kExchange) {
+      EXPECT_EQ(op.agg_rows_folded, base_folded) << op.label;
+      EXPECT_GE(op.agg_partial_groups, final_groups) << op.label;
+    }
+  }
+  EXPECT_EQ(m.result_checksum, base.result_checksum);
 }
 
 /// Degenerate shapes must not hang or skew: more workers than morsels, one
