@@ -1,0 +1,155 @@
+// Concurrent query-serving throughput: queries/sec through the
+// QueryService (src/server/query_service.h) at client counts {1,2,4,8}.
+//
+// Setup: the TPC-DS-lite workload served by one QueryService per client
+// count. A cold pass first populates the plan cache (and records per-query
+// checksums); the measured pass then runs BQO_ROUNDS full sweeps of the
+// query set with N client threads claiming queries off a shared cursor —
+// the serving steady state, where optimization cost is amortized by the
+// cache and all engine parallelism flows through the shared WorkerPool.
+// Every run cross-checks each query's result checksum against the
+// clients=1 run: concurrency must be pure scheduling (the engine parity
+// invariants, docs/ARCHITECTURE.md).
+//
+// Prints one machine-readable JSON line per client count for the
+// BENCH_*.json trajectory. Lines carry hardware_concurrency and
+// pool_threads, and `valid` is false when the client count exceeds the
+// hardware threads (flat scaling there is a container artifact, not a
+// regression — README.md "thread-starved containers").
+//
+// Knobs (env): BQO_SCALE (workload scale, default 1), BQO_LIMIT (queries
+// used, default 24), BQO_ROUNDS (measured sweeps, default 3),
+// BQO_MAX_CLIENTS (default 8), plus the engine knobs BQO_THREADS (per-query
+// workers, default 1 here — serving scales across queries, not inside
+// them), BQO_POOL_THREADS, BQO_MORSEL_ROWS, BQO_QUEUE_BATCHES.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "src/server/query_service.h"
+#include "src/server/worker_pool.h"
+#include "src/workload/runner.h"
+
+namespace bqo {
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  if (const char* e = std::getenv(name)) {
+    const int v = std::atoi(e);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+struct SweepResult {
+  int64_t wall_ns = 0;
+  int64_t queries = 0;
+  std::vector<uint64_t> checksums;  ///< per query index; cold pass only
+};
+
+/// Run `rounds` full sweeps of the first `limit` workload queries through
+/// `service` with `clients` threads. Checksums are recorded only when
+/// `rounds == 1` (the cold pass): there every global index maps to a
+/// distinct query slot, so concurrent clients never write the same element
+/// — with more rounds, round k+1 of query qi could race round k's write.
+SweepResult RunSweep(QueryService* service, const Workload& workload,
+                     size_t limit, int rounds, int clients) {
+  SweepResult result;
+  const bool record_checksums = rounds == 1;
+  result.checksums.assign(record_checksums ? limit : 0, 0);
+  const size_t total = limit * static_cast<size_t>(rounds);
+  std::atomic<size_t> cursor{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  const auto start = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= total) return;
+        const size_t qi = i % limit;
+        QueryResult r = service->Execute(workload.queries[qi]);
+        if (record_checksums) {
+          result.checksums[qi] = r.metrics.result_checksum;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  result.wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  result.queries = static_cast<int64_t>(total);
+  return result;
+}
+
+}  // namespace
+}  // namespace bqo
+
+int main() {
+  using namespace bqo;
+  const int rounds = EnvInt("BQO_ROUNDS", 3);
+  const int max_clients = EnvInt("BQO_MAX_CLIENTS", 8);
+  ExecConfig hw;
+  hw.threads = 0;
+  const int hw_threads = hw.ResolvedThreads();
+  const int pool_threads = WorkerPool::Global().num_threads();
+
+  Workload workload = MakeTpcdsLite(ScaleFromEnv());
+  const size_t limit = std::min<size_t>(
+      workload.queries.size(),
+      static_cast<size_t>(EnvInt("BQO_LIMIT", 24)));
+
+  std::fprintf(stderr,
+               "[bench] concurrent serving: %s, %zu queries x %d rounds, "
+               "pool %d, hw threads %d, up to %d clients\n",
+               workload.name.c_str(), limit, rounds, pool_threads, hw_threads,
+               max_clients);
+
+  std::vector<uint64_t> base_checksums;
+  double base_qps = 0;
+  for (int clients = 1; clients <= max_clients; clients *= 2) {
+    QueryServiceOptions options;
+    options.optimizer.mode = OptimizerMode::kBqoShallow;
+    options.execution.exec = ExecConfigFromEnv();
+    QueryService service(workload.catalog.get(), options);
+
+    // Cold pass: populate the plan cache (unmeasured, single sweep) and
+    // record per-query checksums for the cross-client verification.
+    const SweepResult cold =
+        RunSweep(&service, workload, limit, /*rounds=*/1, clients);
+    // Measured pass: serving steady state, cache warm.
+    const SweepResult r =
+        RunSweep(&service, workload, limit, rounds, clients);
+
+    if (clients == 1) {
+      base_checksums = cold.checksums;
+    } else if (cold.checksums != base_checksums) {
+      std::fprintf(stderr,
+                   "[bench] MISMATCH at clients=%d — result checksums "
+                   "differ from clients=1\n",
+                   clients);
+      return 1;
+    }
+
+    const double wall_ms = static_cast<double>(r.wall_ns) / 1e6;
+    const double qps =
+        static_cast<double>(r.queries) / (static_cast<double>(r.wall_ns) / 1e9);
+    if (clients == 1) base_qps = qps;
+    const PlanCacheStats cache = service.cache_stats();
+    std::printf(
+        "{\"bench\":\"concurrent_queries\",\"workload\":\"%s\","
+        "\"clients\":%d,\"pool_threads\":%d,\"workers_per_query\":%d,"
+        "\"hardware_concurrency\":%d,\"queries\":%lld,\"wall_ms\":%.2f,"
+        "\"qps\":%.1f,\"plan_cache_hit_rate\":%.3f,\"speedup_vs_1\":%.2f,"
+        "\"valid\":%s}\n",
+        workload.name.c_str(), clients, pool_threads,
+        service.workers_per_query(), hw_threads,
+        static_cast<long long>(r.queries), wall_ms, qps, cache.HitRate(),
+        qps / base_qps, clients <= hw_threads ? "true" : "false");
+  }
+  return 0;
+}

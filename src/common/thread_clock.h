@@ -1,0 +1,36 @@
+// Per-thread CPU clock for query task-time accounting.
+//
+// Under concurrent serving, a query's wall time is inflated by co-running
+// queries (preemption, pool queueing), so the runner's min-of-k repeat
+// timing and the per-worker busy counters key on *thread CPU time* instead:
+// CLOCK_THREAD_CPUTIME_ID advances only while the calling thread is
+// actually executing, which makes the summed per-task deltas the query's
+// own task time regardless of what else the machine is doing (see
+// QueryMetrics::cpu_ns in src/exec/metrics.h).
+#pragma once
+
+#include <cstdint>
+
+#include <chrono>
+#include <ctime>
+
+namespace bqo {
+
+/// \brief CPU nanoseconds consumed by the calling thread. Falls back to the
+/// steady clock where the POSIX per-thread clock is unavailable (the value
+/// is then wall time, still monotonic — deltas stay meaningful, just no
+/// longer preemption-immune).
+inline int64_t ThreadCpuNanos() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<int64_t>(ts.tv_sec) * 1000000000 +
+           static_cast<int64_t>(ts.tv_nsec);
+  }
+#endif
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace bqo

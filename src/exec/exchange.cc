@@ -1,7 +1,8 @@
 #include "src/exec/exchange.h"
 
-#include <chrono>
 #include <utility>
+
+#include "src/common/thread_clock.h"
 
 namespace bqo {
 
@@ -23,7 +24,7 @@ ExchangeOperator::~ExchangeOperator() {
 }
 
 void ExchangeOperator::EnablePreAggregation(const AggSpec& spec) {
-  BQO_CHECK_MSG(threads_.empty(), "EnablePreAggregation before Open");
+  BQO_CHECK_MSG(tasks_ == nullptr, "EnablePreAggregation before Open");
   fold_ = AggFold::Resolve(spec, child_->output_schema());
   preagg_ = true;
 }
@@ -48,9 +49,9 @@ void ExchangeOperator::Open() {
 
   workers_.assign(static_cast<size_t>(num_workers), PipelineWorkerState{});
   for (auto& ws : workers_) InitPipelineWorker(pipe_, &ws);
-  threads_.reserve(static_cast<size_t>(num_workers));
+  tasks_ = std::make_unique<WorkerPool::TaskGroup>(&WorkerPool::Global());
   for (int i = 0; i < num_workers; ++i) {
-    threads_.emplace_back(&ExchangeOperator::WorkerMain, this, i);
+    tasks_->Spawn([this, i] { WorkerMain(i); });
   }
 }
 
@@ -71,7 +72,7 @@ void ExchangeOperator::WorkerMain(int worker_index) {
         recycled_.pop_back();
       }
     }
-    const auto start = std::chrono::steady_clock::now();
+    const int64_t start = ThreadCpuNanos();
     const bool produced = PipelineParallelNext(pipe_, &batch, &ws);
     if (produced && partial != nullptr) {
       // Pre-aggregating drain: fold thread-locally, reuse the batch
@@ -80,11 +81,10 @@ void ExchangeOperator::WorkerMain(int worker_index) {
       fold_.Fold(batch, partial);
       batch.num_rows = 0;
     }
-    // Whole-pipeline worker time accumulates on the source scan's counter
-    // (see metrics.h on CPU-vs-wall attribution under parallelism).
-    ws.scan.busy_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
-                           std::chrono::steady_clock::now() - start)
-                           .count();
+    // Whole-pipeline worker time accumulates on the source scan's counter,
+    // measured on the per-thread CPU clock so co-running queries on a
+    // shared pool don't inflate it (see metrics.h).
+    ws.scan.busy_ns += ThreadCpuNanos() - start;
     if (!produced) break;
     if (partial != nullptr) continue;
 
@@ -128,10 +128,12 @@ std::vector<PartialAggState> ExchangeOperator::DrainPartials() {
   TimerGuard timer(&stats_);
   BQO_CHECK_MSG(preagg_, "DrainPartials requires pre-aggregation mode");
   // Pre-aggregating workers never block on the queue, so they run to scan
-  // exhaustion on their own: join without raising abort_ (which could stop
-  // a worker between morsels and lose folded rows).
-  for (std::thread& t : threads_) t.join();
-  threads_.clear();
+  // exhaustion on their own: await them without raising abort_ (which could
+  // stop a worker between morsels and lose folded rows). Wait() runs
+  // still-queued worker tasks on this thread if the pool is busy, so the
+  // drain always progresses (worker_pool.h on helping).
+  tasks_->Wait();
+  tasks_.reset();
   for (auto& ws : workers_) MergePipelineWorkerStats(pipe_, &ws);
   workers_.clear();
 
@@ -150,14 +152,16 @@ std::vector<PartialAggState> ExchangeOperator::DrainPartials() {
 }
 
 void ExchangeOperator::Shutdown() {
-  if (threads_.empty()) return;
+  if (tasks_ == nullptr) return;
   {
     std::lock_guard<std::mutex> lock(mu_);
     abort_ = true;
     can_push_.notify_all();
   }
-  for (std::thread& t : threads_) t.join();
-  threads_.clear();
+  // Queued-but-unstarted worker tasks run (here, inline, or on the pool),
+  // observe abort_, and exit immediately.
+  tasks_->Wait();
+  tasks_.reset();
   for (auto& ws : workers_) MergePipelineWorkerStats(pipe_, &ws);
   workers_.clear();
   ready_.clear();

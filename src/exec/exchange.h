@@ -4,9 +4,11 @@
 // The wrapped child is any parallelizable probe pipeline (pipeline.h): a
 // bare scan, or a scan -> probe -> ... -> probe chain of hash joins. Open()
 // first opens the child — which runs every hash-join build below, itself
-// wide — then spawns N workers that pull scan morsels off the shared cursor
-// and stream them through the whole probe chain thread-locally. What the
-// workers do with the produced batches depends on the drain mode:
+// wide — then submits N worker tasks to the shared WorkerPool
+// (src/server/worker_pool.h; no per-query thread construction) that pull
+// scan morsels off the shared cursor and stream them through the whole
+// probe chain thread-locally. What the workers do with the produced batches
+// depends on the drain mode:
 //
 //  * Raw mode (the default): workers push batches into a bounded queue;
 //    Next() pops them for the single-threaded consumer above. Batch order
@@ -44,12 +46,12 @@
 #include <deque>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "src/exec/aggregate.h"
 #include "src/exec/exec_config.h"
 #include "src/exec/pipeline.h"
+#include "src/server/worker_pool.h"
 
 namespace bqo {
 
@@ -86,7 +88,7 @@ class ExchangeOperator final : public PhysicalOperator {
 
  private:
   void WorkerMain(int worker_index);
-  /// Join workers and merge their stats; idempotent.
+  /// Await every worker task and merge their stats; idempotent.
   void Shutdown();
 
   std::unique_ptr<PhysicalOperator> child_;
@@ -97,7 +99,9 @@ class ExchangeOperator final : public PhysicalOperator {
   AggFold fold_;  ///< pre-aggregating mode: the shared fold kernel
   std::vector<PartialAggState> partials_;  ///< one per worker
 
-  std::vector<std::thread> threads_;
+  /// One WorkerMain task per logical worker, submitted to the shared
+  /// WorkerPool (no per-query thread construction); non-null while draining.
+  std::unique_ptr<WorkerPool::TaskGroup> tasks_;
   std::vector<PipelineWorkerState> workers_;
 
   // Bounded MPSC queue (raw mode only). `ready_` holds produced batches;

@@ -11,6 +11,18 @@
 // join tables are read-only once built, so probing needs no locks; the
 // mutable counters (FilterStats, OperatorStats) are accumulated per worker
 // and merged once so observed-selectivity numbers stay exact (metrics.h).
+//
+// Two distinct knobs control parallelism (see src/server/worker_pool.h and
+// docs/ARCHITECTURE.md "Serving layer"):
+//
+//  * `threads` — per-query logical workers: how many worker *states* a
+//    query's drains are decomposed into. Results and merged stats are
+//    invariant in it (threads == 1 compiles the exact single-threaded
+//    plan).
+//  * `pool_threads` — process-wide OS threads in the shared WorkerPool
+//    that actually run those workers' tasks, sized once at first use.
+//    Results are invariant in it too; it only caps how much of the machine
+//    the engine uses across *all* concurrently running queries.
 #pragma once
 
 #include <cstdlib>
@@ -22,7 +34,8 @@ struct ExecConfig {
   /// Pipeline worker threads. 1 = the single-threaded operator pipeline,
   /// bit-for-bit (no exchange operator is compiled in). 0 = one worker per
   /// hardware thread. >1 = that many workers per pipeline (build drains and
-  /// the top exchange alike).
+  /// the top exchange alike). These are *logical* workers — their tasks run
+  /// on the shared WorkerPool (src/server/worker_pool.h).
   int threads = 1;
 
   /// Rows of a scan's selection vector claimed per atomic cursor bump.
@@ -34,6 +47,15 @@ struct ExecConfig {
   /// workers and the consuming aggregate. 0 = 2 batches per worker.
   int queue_batches = 0;
 
+  /// OS worker threads in the process-wide WorkerPool. 0 = one per
+  /// hardware thread. NOTE: the global pool is sized once, on first use,
+  /// from the *environment* (WorkerPool::Global reads
+  /// ExecConfigFromEnv().ResolvedPoolThreads(), i.e. BQO_POOL_THREADS) —
+  /// setting this field programmatically does not resize it; tests and
+  /// embedders that need an explicit size call WorkerPool::ResetGlobal
+  /// before the first drain.
+  int pool_threads = 0;
+
   int ResolvedThreads() const {
     int n = threads;
     if (n == 0) n = static_cast<int>(std::thread::hardware_concurrency());
@@ -44,10 +66,18 @@ struct ExecConfig {
     const int n = queue_batches > 0 ? queue_batches : 2 * ResolvedThreads();
     return n < 2 ? 2 : n;
   }
+
+  int ResolvedPoolThreads() const {
+    int n = pool_threads;
+    if (n == 0) n = static_cast<int>(std::thread::hardware_concurrency());
+    return n < 1 ? 1 : n;
+  }
 };
 
-/// \brief ExecConfig from the environment (BQO_THREADS, BQO_MORSEL_ROWS) —
-/// how the workload runner and the bench binaries plumb the knob in.
+/// \brief ExecConfig from the environment (BQO_THREADS, BQO_MORSEL_ROWS,
+/// BQO_QUEUE_BATCHES, BQO_POOL_THREADS) — how the workload runner, the
+/// bench binaries, and WorkerPool::Global plumb the knobs in. The knob
+/// table lives in README.md's quickstart section.
 inline ExecConfig ExecConfigFromEnv() {
   ExecConfig config;
   if (const char* t = std::getenv("BQO_THREADS")) {
@@ -57,6 +87,14 @@ inline ExecConfig ExecConfigFromEnv() {
   if (const char* m = std::getenv("BQO_MORSEL_ROWS")) {
     const int rows = std::atoi(m);
     if (rows > 0) config.morsel_rows = rows;
+  }
+  if (const char* q = std::getenv("BQO_QUEUE_BATCHES")) {
+    const int batches = std::atoi(q);
+    if (batches > 0) config.queue_batches = batches;
+  }
+  if (const char* p = std::getenv("BQO_POOL_THREADS")) {
+    const int n = std::atoi(p);
+    if (n > 0) config.pool_threads = n;
   }
   return config;
 }

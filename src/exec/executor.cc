@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "src/common/string_util.h"
+#include "src/common/thread_clock.h"
 #include "src/exec/exchange.h"
 #include "src/exec/hash_join.h"
 #include "src/exec/merge_join.h"
@@ -236,12 +237,20 @@ QueryMetrics ExecutePlan(const Plan& plan, const ExecutionOptions& options) {
   auto agg = CompilePlan(plan, options, &runtime);
 
   const auto start = std::chrono::steady_clock::now();
+  const int64_t cpu_start = ThreadCpuNanos();
+  const int64_t inline_start = WorkerPool::InlineTaskCpuNanos();
   agg->Open();
   Batch batch;
   while (agg->Next(&batch)) {
   }
   agg->Close();
   const auto end = std::chrono::steady_clock::now();
+  // Driver CPU, minus task time the driver ran inline while helping the
+  // pool (those tasks report their own CPU into worker_cpu_ns — counting
+  // them here too would double-bill the query).
+  const int64_t driver_cpu_ns =
+      (ThreadCpuNanos() - cpu_start) -
+      (WorkerPool::InlineTaskCpuNanos() - inline_start);
 
   QueryMetrics metrics;
   metrics.total_ns =
@@ -252,6 +261,14 @@ QueryMetrics ExecutePlan(const Plan& plan, const ExecutionOptions& options) {
   metrics.result_checksum = agg->ResultChecksum();
   CollectStats(agg.get(), &metrics);
   metrics.filters = runtime.stats;
+  // The query's own task time: driver CPU plus every pool task's CPU
+  // (merged into the source scans' worker_cpu_ns). Parallel filter fills
+  // (FillFilterParallel partials) carry no per-worker stats and are not
+  // included; their work is bounded by the build-side inserts.
+  metrics.cpu_ns = driver_cpu_ns;
+  for (const OperatorStats& op : metrics.operators) {
+    metrics.cpu_ns += op.worker_cpu_ns;
+  }
   return metrics;
 }
 

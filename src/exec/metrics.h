@@ -32,6 +32,12 @@ struct OperatorStats {
   /// exchange's probe-pipeline draining, or a hash-join/sort-merge build
   /// drain. 0 = the phase ran single-threaded.
   int parallel_workers = 0;
+  /// Summed per-task thread-CPU ns of the pool tasks that drained this
+  /// operator's pipeline (source scans only; 0 on the single-threaded
+  /// path, whose time is the driver's). Unlike ns_inclusive this is a pure
+  /// CPU-clock quantity, so QueryMetrics::cpu_ns — driver CPU plus these —
+  /// is immune to co-running queries on the shared WorkerPool.
+  int64_t worker_cpu_ns = 0;
 
   // == Aggregation counters (kAggregate, and kExchange in pre-aggregating
   // mode) ==
@@ -90,7 +96,17 @@ struct FilterStats {
 };
 
 struct QueryMetrics {
+  /// Wall time of ExecutePlan (Open..Close) as seen by the driver thread.
+  /// Under concurrent serving this is inflated by co-running queries; use
+  /// cpu_ns to compare a query against itself across runs.
   int64_t total_ns = 0;
+  /// The query's own task time: driver-thread CPU (helping-adjusted, see
+  /// WorkerPool::InlineTaskCpuNanos) plus the summed per-task CPU of every
+  /// pool task the query's drains ran (worker_cpu_ns above). Measured on
+  /// per-thread CPU clocks (src/common/thread_clock.h), so neither pool
+  /// queueing nor preemption by other queries inflates it — the workload
+  /// runner's min-of-k repeat timing keys on this field.
+  int64_t cpu_ns = 0;
   int64_t result_rows = 0;
   /// Order-independent checksum of the result (verifies plan equivalence).
   uint64_t result_checksum = 0;
@@ -106,6 +122,24 @@ struct QueryMetrics {
   /// \brief Sum of post-filter operator outputs (the executed-plan Cout).
   int64_t TotalIntermediateTuples() const {
     return leaf_tuples + join_tuples;
+  }
+};
+
+/// \brief Counters of the serving layer's plan cache (src/server/
+/// plan_cache.h): a hit skips optimization entirely and amortizes the
+/// bitvector-aware optimization overhead the paper's Section 6.5 measures.
+struct PlanCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;       ///< LRU entries dropped at capacity
+  int64_t invalidations = 0;   ///< full flushes (catalog/stats change)
+  int64_t entries = 0;         ///< current cache size
+
+  double HitRate() const {
+    const int64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
   }
 };
 

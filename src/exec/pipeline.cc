@@ -1,18 +1,18 @@
 #include "src/exec/pipeline.h"
 
 #include <algorithm>
-#include <chrono>
 #include <memory>
-#include <thread>
 
+#include "src/common/thread_clock.h"
 #include "src/filter/bloom_filter.h"
+#include "src/server/worker_pool.h"
 
 namespace bqo {
 
 namespace {
 
 /// Per-worker filter fills below this many keys run sequentially: the
-/// thread spawn + partial-filter allocation costs more than the inserts.
+/// task submission + partial-filter allocation costs more than the inserts.
 constexpr int64_t kMinParallelFilterKeys = 8192;
 
 /// Pull the next output batch of `stage` (0 = scan, i = probes[i-1]). The
@@ -104,14 +104,16 @@ std::vector<int64_t> DrainPipelineParallel(const Pipeline& pipe,
       static_cast<size_t>(num_workers));
   for (auto& ws : states) InitPipelineWorker(pipe, &ws);
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(num_workers));
+  // One task per logical worker on the shared pool; each claims morsels off
+  // the shared cursor until exhaustion, so any pool size (helping waiter
+  // included) completes the drain with identical chunks.
+  WorkerPool::TaskGroup group(&WorkerPool::Global());
   for (int w = 0; w < num_workers; ++w) {
-    threads.emplace_back([&pipe, &states, &worker_chunks, w] {
+    group.Spawn([&pipe, &states, &worker_chunks, w] {
       PipelineWorkerState& ws = states[static_cast<size_t>(w)];
       std::vector<MorselChunk>& chunks =
           worker_chunks[static_cast<size_t>(w)];
-      const auto start = std::chrono::steady_clock::now();
+      const int64_t start = ThreadCpuNanos();
       Batch batch;
       size_t begin = 0;
       while (pipe.source->ClaimMorsel(&ws.scan, &begin)) {
@@ -129,13 +131,10 @@ std::vector<int64_t> DrainPipelineParallel(const Pipeline& pipe,
         }
         chunks.push_back(std::move(chunk));
       }
-      ws.scan.busy_ns +=
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - start)
-              .count();
+      ws.scan.busy_ns += ThreadCpuNanos() - start;
     });
   }
-  for (std::thread& t : threads) t.join();
+  group.Wait();
   for (auto& ws : states) MergePipelineWorkerStats(pipe, &ws);
 
   // Reassemble in canonical order: morsel begins are unique cursor offsets,
@@ -168,7 +167,7 @@ void FillFilterParallel(BitvectorFilter* filter, const FilterConfig& config,
   // partitioned build would be sound but not bit-identical to threads=1,
   // perturbing downstream passed counts. Canonical sequential fill keeps
   // every counter thread-count-invariant. Small builds also fill
-  // sequentially — the spawn + partial allocation isn't worth it.
+  // sequentially — the task submission + partial allocation isn't worth it.
   if (workers <= 1 || config.kind == FilterKind::kCuckoo ||
       n < kMinParallelFilterKeys) {
     for (int64_t i = 0; i < n; ++i) filter->Insert(hashes[i]);
@@ -182,11 +181,10 @@ void FillFilterParallel(BitvectorFilter* filter, const FilterConfig& config,
   // journals replayed against the merged prefix).
   std::vector<std::unique_ptr<BitvectorFilter>> partials(
       static_cast<size_t>(workers));
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(workers));
+  WorkerPool::TaskGroup group(&WorkerPool::Global());
   const int64_t chunk = (n + workers - 1) / workers;
   for (int w = 0; w < workers; ++w) {
-    threads.emplace_back([&partials, &config, hashes, n, chunk, w] {
+    group.Spawn([&partials, &config, hashes, n, chunk, w] {
       const int64_t begin = static_cast<int64_t>(w) * chunk;
       const int64_t end = std::min(n, begin + chunk);
       if (begin >= end) return;
@@ -202,7 +200,7 @@ void FillFilterParallel(BitvectorFilter* filter, const FilterConfig& config,
       partials[static_cast<size_t>(w)] = std::move(partial);
     });
   }
-  for (std::thread& t : threads) t.join();
+  group.Wait();
   for (auto& partial : partials) {
     if (partial != nullptr) filter->MergeFrom(*partial);
   }

@@ -204,9 +204,13 @@ void ScanOperator::MergeWorkerStats(WorkerState* ws) {
   ws->filter_stats.clear();  // merged; a repeated Close() merges nothing
   stats_.rows_prefilter += ws->rows_prefilter;
   stats_.rows_out += ws->rows_out;
-  // Summed worker pipeline time; under morsel parallelism the scan's
-  // ns_inclusive is CPU time, not wall time (see metrics.h).
+  // Summed worker pipeline time (per-thread CPU clock); under morsel
+  // parallelism the scan's ns_inclusive is CPU time, not wall time, and
+  // worker_cpu_ns carries the same total for QueryMetrics::cpu_ns — the
+  // single-threaded path leaves both at 0 here since its time is the
+  // driver's (see metrics.h).
   stats_.ns_inclusive += ws->busy_ns;
+  stats_.worker_cpu_ns += ws->busy_ns;
   ws->rows_prefilter = 0;
   ws->rows_out = 0;
   ws->busy_ns = 0;

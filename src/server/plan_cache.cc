@@ -1,0 +1,111 @@
+#include "src/server/plan_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/string_util.h"
+
+namespace bqo {
+
+PlanCache::PlanCache(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {}
+
+std::string PlanCache::Signature(const JoinGraph& graph,
+                                 const OptimizerOptions& options) {
+  // Optimizer knobs first — they change the produced plan, so they are
+  // part of the identity of the cached artifact.
+  std::string sig = StringFormat(
+      "mode=%s;lambda=%.9g;fp=%.9g;dp=%d;exh=%zu", OptimizerModeName(options.mode),
+      options.lambda_thresh, options.filter_fp_rate, options.max_dp_relations,
+      options.exhaustive_limit);
+  // Relations in index order: base table + predicate text (aliases are
+  // naming, not semantics — excluded so alias-renamed queries hit).
+  for (int r = 0; r < graph.num_relations(); ++r) {
+    const RelationRef& rel = graph.relation(r);
+    sig += StringFormat(";R%d=%s|", r, rel.table_name.c_str());
+    sig += rel.predicate == nullptr ? "true" : rel.predicate->ToString();
+  }
+  // Edges: endpoints, column lists, and the uniqueness flags Definition 1
+  // keys on. BuildJoinGraph emits edges in a deterministic order for a
+  // given spec, so equal queries produce equal signatures.
+  for (int e = 0; e < graph.num_edges(); ++e) {
+    const JoinEdge& edge = graph.edge(e);
+    sig += StringFormat(";E%d=%d<%d:", e, edge.left, edge.right);
+    sig += JoinStrings(edge.left_cols, ",");
+    sig += "=";
+    sig += JoinStrings(edge.right_cols, ",");
+    sig += StringFormat(":%d%d", edge.left_unique ? 1 : 0,
+                        edge.right_unique ? 1 : 0);
+  }
+  return sig;
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::Lookup(
+    const std::string& signature, int64_t catalog_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (catalog_version != seen_catalog_version_) {
+    if (!entries_.empty()) InvalidateLocked();
+    seen_catalog_version_ = catalog_version;
+  }
+  auto it = entries_.find(signature);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);  // bump to MRU
+  return it->second.entry;
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::Insert(
+    const std::string& signature, int64_t catalog_version,
+    const JoinGraph& graph, OptimizedQuery optimized) {
+  auto entry = std::make_shared<CachedPlan>();
+  entry->graph = graph;  // owned copy: the caller's graph is stack-local
+  entry->plan = std::move(optimized.plan);
+  entry->plan.graph = &entry->graph;  // re-bind to the stable copy
+  entry->estimated_cost = optimized.estimated_cost;
+  entry->pruned_filters = optimized.pruned_filters;
+  entry->optimize_ns = optimized.optimize_ns;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (catalog_version != seen_catalog_version_) {
+    if (!entries_.empty()) InvalidateLocked();
+    seen_catalog_version_ = catalog_version;
+  }
+  auto it = entries_.find(signature);
+  if (it != entries_.end()) {
+    // A concurrent miss on the same signature optimized twice; keep the
+    // first entry so later hits all share one plan, and hand the loser its
+    // own (equivalent) result.
+    return entry;
+  }
+  while (entries_.size() >= capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(signature);
+  entries_.emplace(signature, Slot{entry, lru_.begin()});
+  return entry;
+}
+
+void PlanCache::InvalidateLocked() {
+  entries_.clear();
+  lru_.clear();
+  ++stats_.invalidations;
+}
+
+void PlanCache::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  InvalidateLocked();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PlanCacheStats out = stats_;
+  out.entries = static_cast<int64_t>(entries_.size());
+  return out;
+}
+
+}  // namespace bqo

@@ -1,0 +1,134 @@
+#include "src/server/query_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/server/worker_pool.h"
+
+namespace bqo {
+
+QueryService::QueryService(const Catalog* catalog, QueryServiceOptions options)
+    : catalog_(catalog),
+      options_(std::move(options)),
+      stats_(catalog),
+      cache_(options_.plan_cache_capacity) {
+  const int pool = WorkerPool::Global().num_threads();
+  max_concurrent_ = options_.max_concurrent_queries > 0
+                        ? options_.max_concurrent_queries
+                        : std::max(1, pool);
+  // Default share: at full admission the pool is exactly subscribed
+  // (max_concurrent * workers_per_query ~= pool). Helping guarantees every
+  // admitted query >= 1 running thread regardless.
+  workers_per_query_ = options_.max_workers_per_query > 0
+                           ? options_.max_workers_per_query
+                           : std::max(1, pool / max_concurrent_);
+}
+
+void QueryService::Admit() {
+  std::unique_lock<std::mutex> lock(admit_mu_);
+  admit_cv_.wait(lock, [this] { return active_ < max_concurrent_; });
+  ++active_;
+  peak_ = std::max(peak_, active_);
+}
+
+void QueryService::Release() {
+  {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    --active_;
+    ++served_;
+  }
+  admit_cv_.notify_one();
+}
+
+QueryResult QueryService::Execute(const QuerySpec& spec) {
+  Admit();
+
+  QueryResult result;
+  result.query_name = spec.name;
+  result.num_joins = spec.num_joins();
+
+  // Per-query execution options: the spec's aggregate, bitvector use per
+  // the optimizer mode, and the worker share clamp. A share of 1 compiles
+  // the exact single-threaded plan — no pool tasks at all.
+  ExecutionOptions exec = options_.execution;
+  exec.agg = spec.agg;
+  exec.use_bitvectors = options_.optimizer.mode != OptimizerMode::kNoBitvectors;
+  exec.exec.threads =
+      std::min(exec.exec.ResolvedThreads(), workers_per_query_);
+
+  std::shared_ptr<const CachedPlan> entry;
+  {
+    // Shared lock: many queries optimize concurrently; InvalidateCache
+    // takes it exclusive so stats references never die under an optimizer.
+    std::shared_lock<std::shared_mutex> lock(optimize_mu_);
+    auto graph_result = BuildJoinGraph(*catalog_, spec);
+    BQO_CHECK_MSG(graph_result.ok(),
+                  ("query failed to bind: " + spec.name).c_str());
+    const JoinGraph& graph = graph_result.value();
+
+    if (options_.use_plan_cache) {
+      const std::string signature =
+          PlanCache::Signature(graph, options_.optimizer);
+      // One version snapshot spans lookup, optimization, and insert: if
+      // the catalog moves on concurrently, the insert must carry the
+      // version this plan was optimized under (the cache then drops it at
+      // the next lookup) — re-reading here would stamp a stale plan with
+      // the new version and serve it forever.
+      const int64_t catalog_version = catalog_->version();
+      entry = cache_.Lookup(signature, catalog_version);
+      result.plan_cache_hit = entry != nullptr;
+      if (entry == nullptr) {
+        OptimizedQuery optimized =
+            OptimizeQuery(graph, &stats_, options_.optimizer);
+        result.optimize_ns = optimized.optimize_ns;
+        entry = cache_.Insert(signature, catalog_version, graph,
+                              std::move(optimized));
+      }
+    } else {
+      OptimizedQuery optimized =
+          OptimizeQuery(graph, &stats_, options_.optimizer);
+      result.optimize_ns = optimized.optimize_ns;
+      // Uncached path still needs the graph to outlive this scope; reuse
+      // the cache entry layout without touching the cache.
+      auto owned = std::make_shared<CachedPlan>();
+      owned->graph = graph;
+      owned->plan = std::move(optimized.plan);
+      owned->plan.graph = &owned->graph;
+      owned->estimated_cost = optimized.estimated_cost;
+      owned->pruned_filters = optimized.pruned_filters;
+      owned->optimize_ns = optimized.optimize_ns;
+      entry = std::move(owned);
+    }
+  }
+  result.estimated_cost = entry->estimated_cost;
+  result.pruned_filters = entry->pruned_filters;
+
+  // Execution is outside the optimize lock: cached plans are read-only
+  // (fresh operator tree + FilterRuntime per run) and entry's shared_ptr
+  // keeps the plan alive across any concurrent invalidation.
+  result.metrics = ExecutePlan(entry->plan, exec);
+  for (const FilterStats& fs : result.metrics.filters) {
+    if (fs.created && fs.probed > 0) result.used_bitvectors = true;
+  }
+
+  Release();
+  return result;
+}
+
+void QueryService::InvalidateCache() {
+  std::unique_lock<std::shared_mutex> lock(optimize_mu_);
+  cache_.Invalidate();
+  stats_.Invalidate();
+}
+
+int QueryService::peak_concurrent() const {
+  std::lock_guard<std::mutex> lock(admit_mu_);
+  return peak_;
+}
+
+int64_t QueryService::queries_served() const {
+  std::lock_guard<std::mutex> lock(admit_mu_);
+  return served_;
+}
+
+}  // namespace bqo

@@ -1,0 +1,124 @@
+// QueryService: the concurrent query-serving front door.
+//
+// PRs 1-4 made a *single* query run as fast as the hardware allows; this
+// layer turns that into sustained throughput under traffic. N client
+// threads call Execute() concurrently; the service
+//
+//  1. **Admits** — at most `max_concurrent_queries` queries run at once
+//     (the rest block FIFO-ish on a condition variable), and each admitted
+//     query's logical worker count is clamped to `workers_per_query`, so
+//     one heavy query cannot monopolize the shared WorkerPool. Because
+//     every drain's Wait() helps (worker_pool.h), an admitted query always
+//     has at least its own client thread running tasks — the share floor
+//     is 1 even when the pool is saturated.
+//  2. **Plans** — binds the QuerySpec to a JoinGraph, then consults the
+//     PlanCache under the query's canonical signature: a hit skips
+//     optimization entirely (amortizing the paper's Section 6.5 overhead),
+//     a miss runs OptimizeQuery against the shared thread-safe
+//     StatsCatalog and caches the result.
+//  3. **Executes** — ExecutePlan on the caller's thread; all pipeline
+//     parallelism inside flows through the shared WorkerPool, so total
+//     engine threads stay bounded by the pool size regardless of client
+//     count.
+//
+// Results and merged stats are identical to a single-query threads==1 run
+// of the same spec — admission, pooling, and caching are pure scheduling
+// (pinned by tests/test_query_service.cc under TSan).
+//
+// Invalidation: InvalidateCache() (or any Catalog::version() bump observed
+// at lookup) flushes cached plans; InvalidateCache also refreshes the
+// StatsCatalog, and excludes itself from in-flight optimizations via a
+// shared mutex, so it is safe to call between/during requests.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+#include "src/exec/executor.h"
+#include "src/optimizer/optimizer.h"
+#include "src/server/plan_cache.h"
+#include "src/stats/table_stats.h"
+#include "src/workload/query.h"
+
+namespace bqo {
+
+struct QueryServiceOptions {
+  OptimizerOptions optimizer;
+  /// Template for per-query execution: `agg` and `use_bitvectors` are
+  /// overridden per query (from the spec / the optimizer mode), and
+  /// `exec.threads` is clamped to the per-query worker share.
+  ExecutionOptions execution;
+  /// Queries allowed to run concurrently; 0 = the WorkerPool size.
+  int max_concurrent_queries = 0;
+  /// Logical workers per admitted query; 0 = pool size divided by
+  /// max_concurrent_queries (at least 1), so at full admission the pool is
+  /// exactly subscribed.
+  int max_workers_per_query = 0;
+  size_t plan_cache_capacity = 64;
+  bool use_plan_cache = true;
+};
+
+/// \brief One served query's outcome (the concurrent analogue of
+/// runner.h's QueryRun, plus serving-layer fields).
+struct QueryResult {
+  std::string query_name;
+  QueryMetrics metrics;
+  double estimated_cost = 0;
+  int64_t optimize_ns = 0;  ///< 0 on a plan-cache hit (nothing optimized)
+  int num_joins = 0;
+  int pruned_filters = 0;
+  bool used_bitvectors = false;
+  bool plan_cache_hit = false;
+};
+
+class QueryService {
+ public:
+  /// \brief Serve queries against `catalog` (borrowed; must outlive the
+  /// service). Admission limits resolve against the global WorkerPool size
+  /// at construction.
+  QueryService(const Catalog* catalog, QueryServiceOptions options);
+
+  /// \brief Optimize (or fetch from cache) and execute `spec`. Safe to
+  /// call from any number of client threads; blocks while the service is
+  /// at max_concurrent_queries.
+  QueryResult Execute(const QuerySpec& spec);
+
+  /// \brief Drop cached plans and cached statistics (call after mutating
+  /// table data; DDL is caught automatically via Catalog::version()).
+  void InvalidateCache();
+
+  PlanCacheStats cache_stats() const { return cache_.stats(); }
+
+  int max_concurrent() const { return max_concurrent_; }
+  int workers_per_query() const { return workers_per_query_; }
+  /// \brief High-water mark of concurrently admitted queries (tests pin
+  /// the admission bound with this).
+  int peak_concurrent() const;
+  int64_t queries_served() const;
+
+ private:
+  void Admit();
+  void Release();
+
+  const Catalog* catalog_;
+  QueryServiceOptions options_;
+  int max_concurrent_ = 1;
+  int workers_per_query_ = 1;
+
+  StatsCatalog stats_;
+  PlanCache cache_;
+  /// Readers = in-flight optimizations, writer = InvalidateCache (the
+  /// StatsCatalog's cached references must not be cleared under a reader).
+  std::shared_mutex optimize_mu_;
+
+  mutable std::mutex admit_mu_;
+  std::condition_variable admit_cv_;
+  int active_ = 0;
+  int peak_ = 0;
+  int64_t served_ = 0;
+};
+
+}  // namespace bqo

@@ -5,6 +5,11 @@
 namespace bqo {
 
 const TableStatsData& StatsCatalog::Get(const std::string& table) {
+  // One lock spans lookup and computation: concurrent optimizers asking
+  // for the same large table must not compute its distinct counts twice
+  // (and unordered_map mutation is unsynchronized). Entries are
+  // node-based, so the returned reference survives later inserts.
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(table);
   if (it != cache_.end()) return it->second;
 
@@ -34,6 +39,11 @@ double StatsCatalog::Distinct(const std::string& table,
   auto it = stats.columns.find(column);
   return it == stats.columns.end() ? 0.0
                                    : static_cast<double>(it->second.distinct);
+}
+
+void StatsCatalog::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
 }
 
 }  // namespace bqo

@@ -6,6 +6,7 @@
 // modeling estimation *error* is out of scope for reproducing its claims.
 #pragma once
 
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -25,6 +26,13 @@ struct TableStatsData {
 };
 
 /// \brief Lazily computed, cached statistics for every table in a catalog.
+///
+/// Thread-safe for concurrent Get/Distinct (the QueryService optimizes
+/// queries from many client threads against one shared StatsCatalog);
+/// returned references stay valid across concurrent inserts because the
+/// cache is node-based. Invalidate() must not race with readers — the
+/// serving layer serializes it against in-flight optimizations
+/// (QueryService::InvalidateCache).
 class StatsCatalog {
  public:
   explicit StatsCatalog(const Catalog* catalog) : catalog_(catalog) {}
@@ -35,8 +43,13 @@ class StatsCatalog {
   /// \brief Distinct count of `column` in `table` (0 if unknown).
   double Distinct(const std::string& table, const std::string& column);
 
+  /// \brief Drop every cached entry (table data or schema changed). See
+  /// the class comment for the required quiescence.
+  void Invalidate();
+
  private:
   const Catalog* catalog_;
+  std::mutex mu_;
   std::unordered_map<std::string, TableStatsData> cache_;
 };
 

@@ -16,6 +16,7 @@ Result<Table*> Catalog::CreateTable(std::string name,
   Table* ptr = table.get();
   table_order_.push_back(name);
   tables_.emplace(std::move(name), std::move(table));
+  ++version_;
   return ptr;
 }
 
@@ -46,6 +47,7 @@ Status Catalog::DeclarePrimaryKey(const std::string& table,
                                          column.c_str(), table.c_str()));
   }
   unique_keys_[table].push_back(column);
+  ++version_;
   return Status::OK();
 }
 
@@ -59,6 +61,7 @@ Status Catalog::DeclareForeignKey(const ForeignKeyDef& fk) {
     return Status::NotFound("foreign key endpoint column not found");
   }
   foreign_keys_.push_back(fk);
+  ++version_;
   return Status::OK();
 }
 

@@ -6,6 +6,7 @@
 // snowflake detector in Algorithm 3).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -50,12 +51,27 @@ class Catalog {
 
   int64_t TotalMemoryBytes() const;
 
+  /// \brief Monotonic schema version, bumped by CreateTable /
+  /// DeclarePrimaryKey / DeclareForeignKey. The serving layer's PlanCache
+  /// snapshots it per entry and treats any change as an invalidation (a
+  /// cached plan binds table pointers and key metadata). Data loaded into
+  /// existing tables does not bump it; callers mutating data must
+  /// invalidate explicitly (QueryService::InvalidateCache). Atomic:
+  /// serving threads read it while a DDL/load thread bumps it.
+  int64_t version() const {
+    return version_.load(std::memory_order_relaxed);
+  }
+  /// \brief Mark a non-DDL change (bulk data load, stats refresh) so
+  /// version-checking caches drop stale entries.
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_relaxed); }
+
  private:
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   std::vector<std::string> table_order_;  // creation order, for stable output
   // (table, column) pairs declared unique.
   std::unordered_map<std::string, std::vector<std::string>> unique_keys_;
   std::vector<ForeignKeyDef> foreign_keys_;
+  std::atomic<int64_t> version_{0};
 };
 
 }  // namespace bqo
