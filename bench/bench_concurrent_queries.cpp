@@ -17,11 +17,27 @@
 // hardware threads (flat scaling there is a container artifact, not a
 // regression — README.md "thread-starved containers").
 //
+// After the scaling sweep, an **overload phase** runs a mixed workload —
+// the cheapest half of the query set as the "short" class, the most
+// expensive as "long", plus a "deadline" class (long queries carrying a
+// tight per-query deadline) — against a service with a bounded admission
+// queue, and emits per-class p50/p99 latency plus the ServingStats
+// shed/timeout/cancelled counters as one more JSON line. This is the
+// resilience trajectory: the short class's tail must stay bounded while
+// the deadline class times out and overload is shed, not queued forever.
+//
 // Knobs (env): BQO_SCALE (workload scale, default 1), BQO_LIMIT (queries
 // used, default 24), BQO_ROUNDS (measured sweeps, default 3),
 // BQO_MAX_CLIENTS (default 8), plus the engine knobs BQO_THREADS (per-query
 // workers, default 1 here — serving scales across queries, not inside
-// them), BQO_POOL_THREADS, BQO_MORSEL_ROWS, BQO_QUEUE_BATCHES.
+// them), BQO_POOL_THREADS, BQO_MORSEL_ROWS, BQO_QUEUE_BATCHES. The serving
+// knobs BQO_DEADLINE_MS / BQO_ADMISSION_QUEUE overlay the overload phase's
+// service (ApplyServingEnvOverrides), and BQO_FAULT_SITES / BQO_FAULT_EVERY
+// arm the fault injector for the whole binary (the CI fault-smoke job runs
+// exactly that: injected faults must degrade results, never hang or crash
+// the bench) — checksum verification is skipped when faults are armed,
+// since a faulted query's results are void by contract.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -29,6 +45,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/fault_injector.h"
 #include "src/server/query_service.h"
 #include "src/server/worker_pool.h"
 #include "src/workload/runner.h"
@@ -86,11 +103,173 @@ SweepResult RunSweep(QueryService* service, const Workload& workload,
   return result;
 }
 
+// ---- Overload phase: mixed request classes under a bounded service ----
+
+struct RequestClass {
+  const char* name;
+  std::vector<size_t> queries;  ///< workload indices this class draws from
+  int64_t deadline_ms = 0;      ///< 0 = no per-request deadline
+};
+
+double PercentileMs(std::vector<int64_t> ns, double p) {
+  if (ns.empty()) return 0.0;
+  std::sort(ns.begin(), ns.end());
+  const size_t idx = std::min(
+      ns.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(ns.size() - 1) + 0.5));
+  return static_cast<double>(ns[idx]) / 1e6;
+}
+
+/// One flattened request: a query index, its class, and its deadline.
+struct Request {
+  size_t qi = 0;
+  size_t cls = 0;
+  int64_t deadline_ms = 0;
+};
+
+void RunOverloadPhase(const Workload& workload, size_t limit, int rounds,
+                      int clients, int hw_threads) {
+  // Classify by single-client cost: run each query once and split at the
+  // median. The service for this calibration pass is unbounded.
+  QueryServiceOptions calibrate_options;
+  calibrate_options.optimizer.mode = OptimizerMode::kBqoShallow;
+  calibrate_options.execution.exec = ExecConfigFromEnv();
+  QueryService calibrate(workload.catalog.get(), calibrate_options);
+  std::vector<std::pair<int64_t, size_t>> cost;  // (ns, query index)
+  cost.reserve(limit);
+  for (size_t qi = 0; qi < limit; ++qi) {
+    const auto start = std::chrono::steady_clock::now();
+    (void)calibrate.Execute(workload.queries[qi]);
+    cost.emplace_back(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count(),
+                      qi);
+  }
+  std::sort(cost.begin(), cost.end());
+  const size_t half = std::max<size_t>(1, limit / 2);
+  // The deadline is tuned to the split itself: tight enough that long
+  // queries cannot finish inside it (their median single-client cost), so
+  // the deadline class actually exercises expiry. BQO_DEADLINE_MS
+  // overrides via ApplyServingEnvOverrides below as the service default.
+  const int64_t deadline_ms = std::max<int64_t>(
+      1, cost[limit / 2].first / 1'000'000 / 4);
+
+  std::vector<RequestClass> classes(3);
+  classes[0].name = "short";
+  classes[1].name = "long";
+  classes[2].name = "deadline";
+  classes[2].deadline_ms = deadline_ms;
+  for (size_t i = 0; i < limit; ++i) {
+    (i < half ? classes[0] : classes[1]).queries.push_back(cost[i].second);
+  }
+  classes[2].queries = classes[1].queries;  // deadline class = long + bound
+
+  // The serving configuration under test: bounded admission queue (shed
+  // beyond it), admission waits capped, env knobs overlaid.
+  QueryServiceOptions options;
+  options.optimizer.mode = OptimizerMode::kBqoShallow;
+  options.execution.exec = ExecConfigFromEnv();
+  options.max_concurrent_queries = std::max(1, clients / 2);
+  options.admission_queue_limit = clients;
+  options.admission_timeout_ms = 250;
+  options = ApplyServingEnvOverrides(options);
+  QueryService service(workload.catalog.get(), options);
+
+  // Flatten rounds x (every class x its queries) into one request list;
+  // each slot's latency is written by exactly one client.
+  std::vector<Request> requests;
+  for (int r = 0; r < rounds; ++r) {
+    for (size_t c = 0; c < classes.size(); ++c) {
+      for (size_t qi : classes[c].queries) {
+        requests.push_back(Request{qi, c, classes[c].deadline_ms});
+      }
+    }
+  }
+  std::vector<int64_t> latency_ns(requests.size(), 0);
+  std::vector<int> status_code(requests.size(), 0);
+
+  std::atomic<size_t> cursor{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  const auto start = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= requests.size()) return;
+        const Request& req = requests[i];
+        QueryContext ctx;
+        if (req.deadline_ms > 0) ctx.SetDeadlineAfterMs(req.deadline_ms);
+        const auto t0 = std::chrono::steady_clock::now();
+        const QueryResult r = service.Execute(workload.queries[req.qi], &ctx);
+        latency_ns[i] = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+        status_code[i] = static_cast<int>(r.status.code());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const int64_t wall_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
+  // Per-class percentiles over ALL requests of the class (a shed request's
+  // fast rejection is part of the latency story, not an outlier to drop).
+  std::vector<std::vector<int64_t>> per_class(classes.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    per_class[requests[i].cls].push_back(latency_ns[i]);
+  }
+
+  const ServingStats stats = service.serving_stats();
+  std::printf(
+      "{\"bench\":\"concurrent_queries_overload\",\"workload\":\"%s\","
+      "\"clients\":%d,\"max_concurrent\":%d,\"admission_queue\":%d,"
+      "\"admission_timeout_ms\":%lld,\"deadline_ms\":%lld,"
+      "\"hardware_concurrency\":%d,\"requests\":%zu,\"wall_ms\":%.2f,"
+      "\"short_p50_ms\":%.2f,\"short_p99_ms\":%.2f,"
+      "\"long_p50_ms\":%.2f,\"long_p99_ms\":%.2f,"
+      "\"deadline_p50_ms\":%.2f,\"deadline_p99_ms\":%.2f,"
+      "\"served\":%lld,\"shed\":%lld,\"timed_out\":%lld,"
+      "\"cancelled\":%lld,\"failed\":%lld,\"faults_injected\":%lld,"
+      "\"valid\":%s}\n",
+      workload.name.c_str(), clients, service.max_concurrent(),
+      options.admission_queue_limit,
+      static_cast<long long>(options.admission_timeout_ms),
+      static_cast<long long>(options.default_deadline_ms > 0
+                                 ? options.default_deadline_ms
+                                 : deadline_ms),
+      hw_threads, requests.size(), static_cast<double>(wall_ns) / 1e6,
+      PercentileMs(per_class[0], 0.50), PercentileMs(per_class[0], 0.99),
+      PercentileMs(per_class[1], 0.50), PercentileMs(per_class[1], 0.99),
+      PercentileMs(per_class[2], 0.50), PercentileMs(per_class[2], 0.99),
+      static_cast<long long>(stats.served), static_cast<long long>(stats.shed),
+      static_cast<long long>(stats.timed_out),
+      static_cast<long long>(stats.cancelled),
+      static_cast<long long>(stats.failed),
+      static_cast<long long>(FaultInjector::Global().injected()),
+      clients <= hw_threads ? "true" : "false");
+
+  // Accounting invariant: every request landed in exactly one bucket
+  // (the calibration pass ran against a different service instance).
+  if (stats.Total() != static_cast<int64_t>(requests.size())) {
+    std::fprintf(stderr,
+                 "[bench] WARNING: serving stats total %lld != requests %zu\n",
+                 static_cast<long long>(stats.Total()), requests.size());
+  }
+}
+
 }  // namespace
 }  // namespace bqo
 
 int main() {
   using namespace bqo;
+  // Fault-injection smoke mode (CI): BQO_FAULT_SITES arms the injector for
+  // the whole run; results of faulted queries are void, so the checksum
+  // cross-check is skipped — surviving without a hang or crash is the test.
+  FaultInjector::Global().ConfigureFromEnv();
+  const bool faults_armed = std::getenv("BQO_FAULT_SITES") != nullptr;
   const int rounds = EnvInt("BQO_ROUNDS", 3);
   const int max_clients = EnvInt("BQO_MAX_CLIENTS", 8);
   ExecConfig hw;
@@ -127,7 +306,7 @@ int main() {
 
     if (clients == 1) {
       base_checksums = cold.checksums;
-    } else if (cold.checksums != base_checksums) {
+    } else if (cold.checksums != base_checksums && !faults_armed) {
       std::fprintf(stderr,
                    "[bench] MISMATCH at clients=%d — result checksums "
                    "differ from clients=1\n",
@@ -151,5 +330,9 @@ int main() {
         static_cast<long long>(r.queries), wall_ms, qps, cache.HitRate(),
         qps / base_qps, clients <= hw_threads ? "true" : "false");
   }
+
+  // Overload/resilience phase: mixed classes against a bounded service.
+  const int overload_clients = std::max(2, std::min(max_clients, 4));
+  RunOverloadPhase(workload, limit, rounds, overload_clients, hw_threads);
   return 0;
 }

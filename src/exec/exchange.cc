@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/common/fault_injector.h"
 #include "src/common/thread_clock.h"
 
 namespace bqo {
@@ -49,6 +50,19 @@ void ExchangeOperator::Open() {
 
   workers_.assign(static_cast<size_t>(num_workers), PipelineWorkerState{});
   for (auto& ws : workers_) InitPipelineWorker(pipe_, &ws);
+
+  // Raw mode parks threads on the queue CVs, so a cancel must broadcast
+  // them awake; register the listener before any worker can park. Called
+  // here (not under mu_) per the ordering contract in query_context.h.
+  QueryContext* ctx = query_context();
+  if (!preagg_ && ctx != nullptr && cancel_listener_id_ < 0) {
+    cancel_listener_id_ = ctx->AddCancelListener([this] {
+      std::lock_guard<std::mutex> lock(mu_);
+      can_push_.notify_all();
+      can_pop_.notify_all();
+    });
+  }
+
   tasks_ = std::make_unique<WorkerPool::TaskGroup>(&WorkerPool::Global());
   for (int i = 0; i < num_workers; ++i) {
     tasks_->Spawn([this, i] { WorkerMain(i); });
@@ -59,12 +73,13 @@ void ExchangeOperator::WorkerMain(int worker_index) {
   PipelineWorkerState& ws = workers_[static_cast<size_t>(worker_index)];
   PartialAggState* partial =
       preagg_ ? &partials_[static_cast<size_t>(worker_index)] : nullptr;
+  QueryContext* ctx = query_context();
   Batch batch;
   for (;;) {
     {
-      // Per-batch cancellation point for both modes: Shutdown() on an
-      // early teardown (Close without a drain, destructor) must not have
-      // to wait for the whole scan to run dry.
+      // Per-batch abort point for both modes: Shutdown() on an early
+      // teardown (Close without a drain, destructor) must not have to wait
+      // for the whole scan to run dry.
       std::lock_guard<std::mutex> lock(mu_);
       if (abort_) break;
       if (!preagg_ && !recycled_.empty()) {
@@ -72,8 +87,22 @@ void ExchangeOperator::WorkerMain(int worker_index) {
         recycled_.pop_back();
       }
     }
+    // Per-batch query cancellation point, checked outside mu_ because a
+    // deadline expiry cancels here and Cancel runs our listener, which
+    // locks mu_. The scan's stride checks make the pipeline run dry too;
+    // this just exits a beat sooner.
+    if (CtxShouldStop(ctx)) break;
     const int64_t start = ThreadCpuNanos();
     const bool produced = PipelineParallelNext(pipe_, &batch, &ws);
+    // Fault hook at the hand-off point (fold or queue push): a fired fault
+    // cancels the whole query first-error-wins, exactly as a real fold/push
+    // failure would surface. Checked outside mu_ (Cancel runs listeners).
+    if (produced) {
+      Status fault =
+          FaultInjector::Global().Check(FaultInjector::Site::kExchangePush);
+      if (!fault.ok() && ctx != nullptr) ctx->Cancel(std::move(fault));
+      if (CtxShouldStop(ctx)) break;
+    }
     if (produced && partial != nullptr) {
       // Pre-aggregating drain: fold thread-locally, reuse the batch
       // storage, never touch the queue. busy_ns below covers the fold too
@@ -89,8 +118,11 @@ void ExchangeOperator::WorkerMain(int worker_index) {
     if (partial != nullptr) continue;
 
     std::unique_lock<std::mutex> lock(mu_);
-    can_push_.wait(lock, [this] { return ready_.size() < capacity_ || abort_; });
-    if (abort_) break;
+    can_push_.wait(lock, [this, ctx] {
+      return ready_.size() < capacity_ || abort_ ||
+             (ctx != nullptr && ctx->IsCancelled());
+    });
+    if (abort_ || (ctx != nullptr && ctx->IsCancelled())) break;
     ready_.push_back(std::move(batch));
     batch = Batch();
     can_pop_.notify_one();
@@ -103,9 +135,36 @@ bool ExchangeOperator::Next(Batch* out) {
   TimerGuard timer(&stats_);
   BQO_CHECK_MSG(!preagg_, "pre-aggregating exchange has no batch output; "
                           "use DrainPartials()");
+  QueryContext* ctx = query_context();
   std::unique_lock<std::mutex> lock(mu_);
-  can_pop_.wait(lock,
-                [this] { return !ready_.empty() || active_producers_ == 0; });
+  // Manual wait loop rather than the predicate overload: when a deadline is
+  // armed the consumer parks only until it, and the expiry check must run
+  // with mu_ released — ShouldStop() self-cancels on expiry and Cancel runs
+  // our listener, which locks mu_. A cancel while parked wakes us via that
+  // listener; abort_ covers Shutdown-while-parked the same way.
+  const auto done = [this, ctx] {
+    return !ready_.empty() || active_producers_ == 0 || abort_ ||
+           (ctx != nullptr && ctx->IsCancelled());
+  };
+  while (!done()) {
+    if (ctx != nullptr && ctx->has_deadline()) {
+      if (can_pop_.wait_until(lock, ctx->deadline()) ==
+          std::cv_status::timeout) {
+        lock.unlock();
+        ctx->ShouldStop();  // expiry -> Cancel(kDeadlineExceeded)
+        lock.lock();
+      }
+    } else {
+      can_pop_.wait(lock);
+    }
+  }
+  // A cancelled query surfaces exhaustion even if batches remain queued:
+  // its results are void, and the producers are unwinding already.
+  if (ctx != nullptr && ctx->IsCancelled()) {
+    lock.unlock();
+    out->Reset(schema_.size());
+    return false;
+  }
   if (ready_.empty()) {
     lock.unlock();
     out->Reset(schema_.size());
@@ -156,12 +215,22 @@ void ExchangeOperator::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     abort_ = true;
+    // Both sides: producers parked on a full queue AND a consumer parked in
+    // Next() (e.g. another thread tearing the query down while the
+    // consumer waits on a quiet scan) must observe abort_ promptly.
     can_push_.notify_all();
+    can_pop_.notify_all();
   }
   // Queued-but-unstarted worker tasks run (here, inline, or on the pool),
   // observe abort_, and exit immediately.
   tasks_->Wait();
   tasks_.reset();
+  // Outside mu_: Remove blocks until an in-flight callback (which locks
+  // mu_) finishes, so holding mu_ here would deadlock.
+  if (cancel_listener_id_ >= 0) {
+    query_context()->RemoveCancelListener(cancel_listener_id_);
+    cancel_listener_id_ = -1;
+  }
   for (auto& ws : workers_) MergePipelineWorkerStats(pipe_, &ws);
   workers_.clear();
   ready_.clear();

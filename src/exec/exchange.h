@@ -40,6 +40,14 @@
 // stay exact under parallelism). In pre-aggregating mode the per-worker
 // agg counters (rows folded, partial group counts) merge into this
 // operator's agg_rows_folded / agg_partial_groups the same way (metrics.h).
+//
+// Cancellation (query_context.h): workers poll the query's context at every
+// morsel claim and stride, so a cancelled drain runs dry in bounded time in
+// both modes. Raw mode additionally wires the context into both queue waits
+// — a consumer parked in Next() and producers parked on a full queue are
+// woken promptly by a cancel listener (and Next() waits against the query
+// deadline when one is armed), so a cancelled or deadline-expired query
+// never sits parked on the exchange while its workers unwind.
 #pragma once
 
 #include <condition_variable>
@@ -90,6 +98,9 @@ class ExchangeOperator final : public PhysicalOperator {
   void WorkerMain(int worker_index);
   /// Await every worker task and merge their stats; idempotent.
   void Shutdown();
+  /// The query's context, via the pipeline source (null if executing
+  /// without one). Valid once constructed; the source outlives us.
+  QueryContext* query_context() const { return pipe_.source->query_context(); }
 
   std::unique_ptr<PhysicalOperator> child_;
   Pipeline pipe_;  ///< decomposition of child_ (source + probe stages)
@@ -115,6 +126,12 @@ class ExchangeOperator final : public PhysicalOperator {
   size_t capacity_ = 0;
   int active_producers_ = 0;
   bool abort_ = false;
+  /// Cancel-listener registration (raw mode): on Cancel() the listener
+  /// locks mu_ and broadcasts both CVs so a parked consumer (Next) and
+  /// parked producers wake promptly instead of waiting out a full queue or
+  /// an idle scan. -1 when not registered. See query_context.h for the
+  /// lock-ordering contract (ctx mutex -> mu_; never the reverse).
+  int64_t cancel_listener_id_ = -1;
 };
 
 }  // namespace bqo

@@ -234,6 +234,12 @@ std::unique_ptr<AggregateOperator> CompilePlan(
 
 QueryMetrics ExecutePlan(const Plan& plan, const ExecutionOptions& options) {
   FilterRuntime runtime;
+  // Every execution runs under a context: the caller's (cancellable,
+  // deadline-able) or a private one, so injected faults and internal
+  // first-error propagation behave identically either way.
+  QueryContext local_context;
+  runtime.context =
+      options.context != nullptr ? options.context : &local_context;
   auto agg = CompilePlan(plan, options, &runtime);
 
   const auto start = std::chrono::steady_clock::now();

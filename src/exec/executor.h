@@ -59,6 +59,13 @@ struct ExecutionOptions {
   bool use_sort_merge_join = false;
   /// Final aggregate; COUNT(*) by default.
   AggSpec agg;
+  /// Cooperative cancellation / deadline context (borrowed; must outlive
+  /// the execution). Null = ExecutePlan runs under a private context, so
+  /// injected faults still unwind cooperatively but nothing external can
+  /// cancel the query. Every drain loop polls it at stride boundaries; a
+  /// cancelled execution returns partial (void) metrics — callers that
+  /// pass a context must check its status() before trusting the results.
+  QueryContext* context = nullptr;
 };
 
 /// \brief Execute `plan` and return its metrics. The plan must Validate()

@@ -116,14 +116,17 @@ void HashJoinOperator::Open() {
   // Create this join's bitvector filter, sized exactly to the build side.
   // The hashes are in canonical (single-threaded) order, so the sequential
   // and per-worker-partial fill strategies both reproduce the
-  // single-threaded filter (see FillFilterParallel).
+  // single-threaded filter (see FillFilterParallel). A cancelled query may
+  // leave the filter partially filled; that's fine — its results are void
+  // and the probe side's strides stop claiming work anyway.
   if (config_.creates_filter_id >= 0) {
     auto& slot =
         runtime_->slots[static_cast<size_t>(config_.creates_filter_id)];
     slot = CreateFilter(config_.filter_config,
                         static_cast<int64_t>(hashes.size()));
     FillFilterParallel(slot.get(), config_.filter_config, hashes.data(),
-                       static_cast<int64_t>(hashes.size()), config_.exec);
+                       static_cast<int64_t>(hashes.size()), config_.exec,
+                       runtime_->context);
     FilterStats& fs =
         runtime_->stats[static_cast<size_t>(config_.creates_filter_id)];
     fs.created = true;

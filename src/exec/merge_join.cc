@@ -171,6 +171,13 @@ bool SortMergeJoinOperator::Next(Batch* out) {
   const int64_t np = probe_side_.num_rows();
 
   while (!out->Full() && !done_) {
+    // Batch-boundary cancellation point: the merge runs on the driver (it
+    // is a breaker, not part of a parallel pipeline), so without this a
+    // huge cross-product group could outlive its query's deadline.
+    if (CtxShouldStop(runtime_ != nullptr ? runtime_->context : nullptr)) {
+      done_ = true;
+      break;
+    }
     if (in_group_) {
       // Cross product of the current equal-key group.
       while (emit_b_ < group_b_hi_ && !out->Full()) {

@@ -143,4 +143,23 @@ struct PlanCacheStats {
   }
 };
 
+/// \brief Per-outcome counters of the serving layer (src/server/
+/// query_service.h): every Execute() lands in exactly one bucket, keyed by
+/// the final QueryResult::status code, so served + shed + timed_out +
+/// cancelled + failed equals the total requests the service has finished.
+struct ServingStats {
+  int64_t served = 0;     ///< completed with an OK status
+  int64_t shed = 0;       ///< rejected at admission: queue full
+                          ///< (kResourceExhausted)
+  int64_t timed_out = 0;  ///< deadline expired, waiting or mid-execution
+                          ///< (kDeadlineExceeded)
+  int64_t cancelled = 0;  ///< cooperatively cancelled by the client
+                          ///< (kCancelled)
+  int64_t failed = 0;     ///< any other error (e.g. an injected fault)
+
+  int64_t Total() const {
+    return served + shed + timed_out + cancelled + failed;
+  }
+};
+
 }  // namespace bqo

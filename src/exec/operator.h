@@ -8,6 +8,7 @@
 
 #include "src/exec/batch.h"
 #include "src/exec/metrics.h"
+#include "src/exec/query_context.h"
 #include "src/filter/bitvector_filter.h"
 
 namespace bqo {
@@ -16,9 +17,16 @@ namespace bqo {
 /// PlanFilter::id. A slot stays null when the filter is pruned (Section 6.3)
 /// or when execution is configured to ignore bitvectors (Table 4's
 // "same plan, filters off" comparison); consumers skip null slots.
+///
+/// Also carries the query's cancellation context: the runtime is the one
+/// piece of shared per-execution state every compiled operator holds, so
+/// it is how QueryContext reaches the drain loops (query_context.h).
 struct FilterRuntime {
   std::vector<std::unique_ptr<BitvectorFilter>> slots;
   std::vector<FilterStats> stats;
+  /// Borrowed; may be null (operator unit tests). ExecutePlan points this
+  /// at ExecutionOptions::context, or at a private context when none given.
+  QueryContext* context = nullptr;
 };
 
 /// \brief A filter application site resolved against an operator: which

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "src/common/fault_injector.h"
 #include "src/common/thread_clock.h"
 #include "src/filter/bloom_filter.h"
 #include "src/server/worker_pool.h"
@@ -14,6 +15,34 @@ namespace {
 /// Per-worker filter fills below this many keys run sequentially: the
 /// task submission + partial-filter allocation costs more than the inserts.
 constexpr int64_t kMinParallelFilterKeys = 8192;
+
+/// Keys inserted between cancellation polls during a filter fill.
+constexpr int64_t kFilterFillStride = 4096;
+
+/// Fault hook + cancellation at the entry of an engine worker task: a
+/// fired fault cancels the whole query (first-error-wins), and an already
+/// cancelled query's tasks exit before touching any work.
+bool WorkerTaskShouldStop(QueryContext* ctx) {
+  Status fault = FaultInjector::Global().Check(FaultInjector::Site::kWorkerTask);
+  if (!fault.ok() && ctx != nullptr) ctx->Cancel(std::move(fault));
+  return CtxShouldStop(ctx);
+}
+
+/// Cancellation-aware hash-insert loop shared by the sequential fill and
+/// the per-worker partial builds; also the kFilterFill fault hook point.
+void FillRange(BitvectorFilter* filter, const uint64_t* hashes, int64_t begin,
+               int64_t end, QueryContext* ctx) {
+  {
+    Status fault =
+        FaultInjector::Global().Check(FaultInjector::Site::kFilterFill);
+    if (!fault.ok() && ctx != nullptr) ctx->Cancel(std::move(fault));
+  }
+  for (int64_t i = begin; i < end; i += kFilterFillStride) {
+    if (CtxShouldStop(ctx)) return;
+    const int64_t stop = std::min(end, i + kFilterFillStride);
+    for (int64_t j = i; j < stop; ++j) filter->Insert(hashes[j]);
+  }
+}
 
 /// Pull the next output batch of `stage` (0 = scan, i = probes[i-1]). The
 /// recursion materializes the Volcano pull chain over per-worker states;
@@ -106,10 +135,14 @@ std::vector<int64_t> DrainPipelineParallel(const Pipeline& pipe,
 
   // One task per logical worker on the shared pool; each claims morsels off
   // the shared cursor until exhaustion, so any pool size (helping waiter
-  // included) completes the drain with identical chunks.
+  // included) completes the drain with identical chunks. Cancellation
+  // unwinds per worker at morsel granularity: ClaimMorsel returns false on
+  // a cancelled context, so a cancelled drain completes (short) and the
+  // partial canonical reassembly below is simply discarded by the caller.
   WorkerPool::TaskGroup group(&WorkerPool::Global());
   for (int w = 0; w < num_workers; ++w) {
     group.Spawn([&pipe, &states, &worker_chunks, w] {
+      if (WorkerTaskShouldStop(pipe.source->query_context())) return;
       PipelineWorkerState& ws = states[static_cast<size_t>(w)];
       std::vector<MorselChunk>& chunks =
           worker_chunks[static_cast<size_t>(w)];
@@ -161,7 +194,7 @@ std::vector<int64_t> DrainPipelineParallel(const Pipeline& pipe,
 
 void FillFilterParallel(BitvectorFilter* filter, const FilterConfig& config,
                         const uint64_t* hashes, int64_t n,
-                        const ExecConfig& exec) {
+                        const ExecConfig& exec, QueryContext* ctx) {
   const int workers = exec.ResolvedThreads();
   // Cuckoo contents depend on insert order (displacement history): a
   // partitioned build would be sound but not bit-identical to threads=1,
@@ -170,7 +203,7 @@ void FillFilterParallel(BitvectorFilter* filter, const FilterConfig& config,
   // sequentially — the task submission + partial allocation isn't worth it.
   if (workers <= 1 || config.kind == FilterKind::kCuckoo ||
       n < kMinParallelFilterKeys) {
-    for (int64_t i = 0; i < n; ++i) filter->Insert(hashes[i]);
+    FillRange(filter, hashes, 0, n, ctx);
     return;
   }
 
@@ -184,7 +217,8 @@ void FillFilterParallel(BitvectorFilter* filter, const FilterConfig& config,
   WorkerPool::TaskGroup group(&WorkerPool::Global());
   const int64_t chunk = (n + workers - 1) / workers;
   for (int w = 0; w < workers; ++w) {
-    group.Spawn([&partials, &config, hashes, n, chunk, w] {
+    group.Spawn([&partials, &config, hashes, n, chunk, w, ctx] {
+      if (CtxShouldStop(ctx)) return;
       const int64_t begin = static_cast<int64_t>(w) * chunk;
       const int64_t end = std::min(n, begin + chunk);
       if (begin >= end) return;
@@ -196,11 +230,14 @@ void FillFilterParallel(BitvectorFilter* filter, const FilterConfig& config,
       if (config.kind == FilterKind::kBloom) {
         static_cast<BloomFilter*>(partial.get())->EnableInsertTracking();
       }
-      for (int64_t i = begin; i < end; ++i) partial->Insert(hashes[i]);
+      FillRange(partial.get(), hashes, begin, end, ctx);
       partials[static_cast<size_t>(w)] = std::move(partial);
     });
   }
   group.Wait();
+  // A cancelled fill skips the merge entirely: the partially built filter
+  // is never consulted (the query unwinds before its probe side opens).
+  if (CtxShouldStop(ctx)) return;
   for (auto& partial : partials) {
     if (partial != nullptr) filter->MergeFrom(*partial);
   }

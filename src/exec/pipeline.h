@@ -106,8 +106,13 @@ std::vector<int64_t> DrainPipelineParallel(const Pipeline& pipe,
 /// filters are filled sequentially regardless of thread count: their
 /// contents are insert-order-dependent, and a merged build would perturb
 /// downstream passed counts relative to threads=1.
+///
+/// `ctx` (optional) makes the fill cancellable: inserts poll it every few
+/// thousand keys and a fired kFilterFill fault cancels it (first-error-
+/// wins); a cancelled fill leaves the filter partially built — harmless,
+/// since the whole query's results are void once its context is cancelled.
 void FillFilterParallel(BitvectorFilter* filter, const FilterConfig& config,
                         const uint64_t* hashes, int64_t n,
-                        const ExecConfig& exec);
+                        const ExecConfig& exec, QueryContext* ctx = nullptr);
 
 }  // namespace bqo

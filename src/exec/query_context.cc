@@ -1,0 +1,67 @@
+#include "src/exec/query_context.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/common/macros.h"
+
+namespace bqo {
+
+void QueryContext::SetDeadline(std::chrono::steady_clock::time_point deadline) {
+  deadline_ = deadline;
+  // Release pairs with the acquire in has_deadline(): a reader that sees
+  // the flag sees the time point.
+  has_deadline_.store(true, std::memory_order_release);
+}
+
+void QueryContext::SetDeadlineAfterMs(int64_t ms) {
+  SetDeadline(std::chrono::steady_clock::now() +
+              std::chrono::milliseconds(ms));
+}
+
+void QueryContext::Cancel(Status status) {
+  BQO_CHECK_MSG(!status.ok(), "QueryContext::Cancel with an OK status");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cancelled_.load(std::memory_order_relaxed)) return;  // first error wins
+  status_ = std::move(status);
+  cancelled_.store(true, std::memory_order_release);
+  // Listeners run under mu_, so RemoveCancelListener cannot return while
+  // one is mid-flight (see header on lock ordering).
+  for (const auto& [token, fn] : listeners_) fn();
+}
+
+bool QueryContext::ShouldStop() {
+  if (IsCancelled()) return true;
+  if (has_deadline_.load(std::memory_order_acquire) &&
+      std::chrono::steady_clock::now() > deadline_) {
+    Cancel(Status::DeadlineExceeded("query deadline exceeded"));
+    return true;
+  }
+  return false;
+}
+
+Status QueryContext::status() const {
+  if (!IsCancelled()) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  return status_;
+}
+
+int64_t QueryContext::AddCancelListener(std::function<void()> fn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const int64_t token = next_listener_token_++;
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    // Already cancelled: invoke now (under mu_, like Cancel would have)
+    // and do not retain — the notification cannot fire twice.
+    fn();
+    return token;
+  }
+  listeners_.emplace(token, std::move(fn));
+  return token;
+}
+
+void QueryContext::RemoveCancelListener(int64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listeners_.erase(token);
+}
+
+}  // namespace bqo

@@ -157,6 +157,9 @@ bool ScanOperator::ParallelNext(Batch* out, WorkerState* ws) {
   // multiply the per-batch overhead of every operator above us. Capping the
   // stride at the batch's remaining capacity keeps strides near-full.
   while (!out->Full()) {
+    // Stride-boundary cancellation point: one atomic load per ~kBatchSize
+    // rows (plus a clock read when a deadline is armed).
+    if (CtxShouldStop(query_context())) break;
     if (ws->morsel_pos >= ws->morsel_end) {
       size_t begin;
       if (!ClaimMorsel(ws, &begin)) break;
@@ -168,6 +171,9 @@ bool ScanOperator::ParallelNext(Batch* out, WorkerState* ws) {
 }
 
 bool ScanOperator::ClaimMorsel(WorkerState* ws, size_t* begin) {
+  // Morsel-boundary cancellation point: a cancelled query's workers stop
+  // claiming and the drain above unwinds as if the scan ran dry.
+  if (CtxShouldStop(query_context())) return false;
   // fetch_add is the only cross-worker synchronization on the hot path.
   const size_t total = selection_.size();
   const size_t b =
@@ -182,6 +188,7 @@ bool ScanOperator::ClaimMorsel(WorkerState* ws, size_t* begin) {
 bool ScanOperator::MorselNext(Batch* out, WorkerState* ws) {
   out->Reset(schema_.size());
   while (!out->Full() && ws->morsel_pos < ws->morsel_end) {
+    if (CtxShouldStop(query_context())) break;
     ConsumeStride(out, ws);
   }
   ws->rows_out += out->num_rows;

@@ -93,6 +93,16 @@ class ScanOperator final : public PhysicalOperator {
   /// this between Open() and the first ParallelNext).
   void set_morsel_rows(size_t rows) { morsel_rows_ = rows < 1 ? 1 : rows; }
 
+  /// \brief The query's cancellation context (FilterRuntime::context), or
+  /// null. The scan is the source of every pipeline, so drain owners
+  /// (exchange, build drains) reach the context through it. Every stride
+  /// loop in this operator polls it: a cancelled or deadline-expired query
+  /// stops claiming morsels and reports exhaustion, unwinding the plan
+  /// above cooperatively (query_context.h).
+  QueryContext* query_context() const {
+    return runtime_ != nullptr ? runtime_->context : nullptr;
+  }
+
  private:
   /// A filter fully resolved for the per-stride loop: loop-invariant
   /// pointers hoisted so the check costs only the hash + the probe (the Cf

@@ -1,11 +1,26 @@
 #include "src/server/query_service.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <utility>
 
+#include "src/common/fault_injector.h"
 #include "src/server/worker_pool.h"
 
 namespace bqo {
+
+QueryServiceOptions ApplyServingEnvOverrides(QueryServiceOptions options) {
+  if (const char* d = std::getenv("BQO_DEADLINE_MS")) {
+    const long long ms = std::atoll(d);
+    if (ms > 0) options.default_deadline_ms = ms;
+  }
+  if (const char* q = std::getenv("BQO_ADMISSION_QUEUE")) {
+    // "0" is meaningful: no waiting at all — run-or-shed admission.
+    options.admission_queue_limit = std::atoi(q);
+  }
+  return options;
+}
 
 QueryService::QueryService(const Catalog* catalog, QueryServiceOptions options)
     : catalog_(catalog),
@@ -24,94 +39,231 @@ QueryService::QueryService(const Catalog* catalog, QueryServiceOptions options)
                            : std::max(1, pool / max_concurrent_);
 }
 
-void QueryService::Admit() {
-  std::unique_lock<std::mutex> lock(admit_mu_);
-  admit_cv_.wait(lock, [this] { return active_ < max_concurrent_; });
-  ++active_;
-  peak_ = std::max(peak_, active_);
+Status QueryService::Admit(QueryContext* ctx) {
+  // A waiter parked on admit_cv_ is woken promptly on cancellation via a
+  // context listener. Registered outside admit_mu_ (Cancel holds the
+  // context mutex and the listener takes admit_mu_ — query_context.h's
+  // lock-ordering contract), and inside the wait loop only the flag-only
+  // IsCancelled() is consulted, never ctx->status().
+  const int64_t listener = ctx->AddCancelListener([this] {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    admit_cv_.notify_all();
+  });
+
+  // The admission wait is bounded by the query deadline and, independently,
+  // by the service's admission timeout (whichever is sooner).
+  bool bounded_wait = ctx->has_deadline();
+  auto wait_deadline = bounded_wait
+                           ? ctx->deadline()
+                           : std::chrono::steady_clock::time_point::max();
+  if (options_.admission_timeout_ms > 0) {
+    const auto cap = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(options_.admission_timeout_ms);
+    wait_deadline = bounded_wait ? std::min(wait_deadline, cap) : cap;
+    bounded_wait = true;
+  }
+
+  enum class Outcome { kAdmitted, kShed, kTimedOut, kCancelled };
+  Outcome outcome;
+  {
+    std::unique_lock<std::mutex> lock(admit_mu_);
+    if (active_ < max_concurrent_ && !ctx->IsCancelled()) {
+      outcome = Outcome::kAdmitted;
+    } else if (ctx->IsCancelled()) {
+      outcome = Outcome::kCancelled;
+    } else if (options_.admission_queue_limit >= 0 &&
+               waiting_ >= options_.admission_queue_limit) {
+      // Load shed: the house and the queue are both full. Rejecting now
+      // (rather than queueing unboundedly) keeps the wait of the queries
+      // we do accept bounded — the clients that are told "no" can back
+      // off instead of timing out after burning a slot in line.
+      outcome = Outcome::kShed;
+    } else {
+      ++waiting_;
+      for (;;) {
+        if (ctx->IsCancelled()) {
+          outcome = Outcome::kCancelled;
+          break;
+        }
+        if (active_ < max_concurrent_) {
+          outcome = Outcome::kAdmitted;
+          break;
+        }
+        if (bounded_wait) {
+          if (std::chrono::steady_clock::now() >= wait_deadline) {
+            outcome = Outcome::kTimedOut;
+            break;
+          }
+          admit_cv_.wait_until(lock, wait_deadline);
+        } else {
+          admit_cv_.wait(lock);
+        }
+      }
+      --waiting_;
+    }
+    if (outcome == Outcome::kAdmitted) {
+      ++active_;
+      peak_ = std::max(peak_, active_);
+    }
+  }
+  ctx->RemoveCancelListener(listener);  // outside admit_mu_; see above
+
+  switch (outcome) {
+    case Outcome::kAdmitted:
+      return Status::OK();
+    case Outcome::kShed:
+      return Status::ResourceExhausted("admission queue full: load shed");
+    case Outcome::kTimedOut:
+      // Whether the query's own deadline or the service's admission
+      // timeout fired, the query is over either way: cancel it so any
+      // client-side observers see the same first error we return.
+      ctx->ShouldStop();  // self-cancel if the query deadline passed
+      ctx->Cancel(Status::DeadlineExceeded("admission wait timed out"));
+      return ctx->status();
+    case Outcome::kCancelled:
+      return ctx->status();
+  }
+  return Status::Internal("unreachable");
 }
 
 void QueryService::Release() {
   {
     std::lock_guard<std::mutex> lock(admit_mu_);
     --active_;
-    ++served_;
   }
-  admit_cv_.notify_one();
+  // notify_all, not notify_one: with deadlines and cancellation a wake can
+  // land on a waiter that is about to give up, and a lost wakeup would
+  // strand the rest of the queue until the next release.
+  admit_cv_.notify_all();
 }
 
-QueryResult QueryService::Execute(const QuerySpec& spec) {
-  Admit();
+void QueryService::RecordOutcome(const Status& status) {
+  std::lock_guard<std::mutex> lock(admit_mu_);
+  if (status.ok()) {
+    ++serving_.served;
+  } else if (status.IsResourceExhausted()) {
+    ++serving_.shed;
+  } else if (status.IsDeadlineExceeded()) {
+    ++serving_.timed_out;
+  } else if (status.IsCancelled()) {
+    ++serving_.cancelled;
+  } else {
+    ++serving_.failed;
+  }
+}
+
+QueryResult QueryService::Execute(const QuerySpec& spec,
+                                  QueryContext* caller_ctx) {
+  // Every query runs under a context; the client's (cancellable from
+  // outside) or a private one. The service's default deadline applies only
+  // when the client didn't set a tighter one of their own.
+  QueryContext private_ctx;
+  QueryContext* ctx = caller_ctx != nullptr ? caller_ctx : &private_ctx;
+  if (!ctx->has_deadline() && options_.default_deadline_ms > 0) {
+    ctx->SetDeadlineAfterMs(options_.default_deadline_ms);
+  }
 
   QueryResult result;
   result.query_name = spec.name;
   result.num_joins = spec.num_joins();
 
+  const Status admitted = Admit(ctx);
+  if (!admitted.ok()) {
+    // Shed, timed out in line, or cancelled while waiting: never ran, no
+    // slot to release.
+    result.status = admitted;
+    RecordOutcome(result.status);
+    return result;
+  }
+  if (options_.post_admit_hook) options_.post_admit_hook();
+
   // Per-query execution options: the spec's aggregate, bitvector use per
-  // the optimizer mode, and the worker share clamp. A share of 1 compiles
-  // the exact single-threaded plan — no pool tasks at all.
+  // the optimizer mode, the worker share clamp, and the query's context.
+  // A share of 1 compiles the exact single-threaded plan — no pool tasks
+  // at all.
   ExecutionOptions exec = options_.execution;
   exec.agg = spec.agg;
   exec.use_bitvectors = options_.optimizer.mode != OptimizerMode::kNoBitvectors;
   exec.exec.threads =
       std::min(exec.exec.ResolvedThreads(), workers_per_query_);
+  exec.context = ctx;
 
-  std::shared_ptr<const CachedPlan> entry;
+  // Fault hook at the planning surface: fails the query after admission
+  // but before any optimizer or execution state exists (the earliest
+  // post-admission failure a real serving stack sees).
   {
-    // Shared lock: many queries optimize concurrently; InvalidateCache
-    // takes it exclusive so stats references never die under an optimizer.
-    std::shared_lock<std::shared_mutex> lock(optimize_mu_);
-    auto graph_result = BuildJoinGraph(*catalog_, spec);
-    BQO_CHECK_MSG(graph_result.ok(),
-                  ("query failed to bind: " + spec.name).c_str());
-    const JoinGraph& graph = graph_result.value();
+    Status fault =
+        FaultInjector::Global().Check(FaultInjector::Site::kPlanCacheLookup);
+    if (!fault.ok()) ctx->Cancel(std::move(fault));
+  }
 
-    if (options_.use_plan_cache) {
-      const std::string signature =
-          PlanCache::Signature(graph, options_.optimizer);
-      // One version snapshot spans lookup, optimization, and insert: if
-      // the catalog moves on concurrently, the insert must carry the
-      // version this plan was optimized under (the cache then drops it at
-      // the next lookup) — re-reading here would stamp a stale plan with
-      // the new version and serve it forever.
-      const int64_t catalog_version = catalog_->version();
-      entry = cache_.Lookup(signature, catalog_version);
-      result.plan_cache_hit = entry != nullptr;
-      if (entry == nullptr) {
+  // ShouldStop rather than IsCancelled: a deadline that expired during the
+  // admission wait must stop the query here, before planning.
+  if (!ctx->ShouldStop()) {
+    std::shared_ptr<const CachedPlan> entry;
+    {
+      // Shared lock: many queries optimize concurrently; InvalidateCache
+      // takes it exclusive so stats references never die under an
+      // optimizer.
+      std::shared_lock<std::shared_mutex> lock(optimize_mu_);
+      auto graph_result = BuildJoinGraph(*catalog_, spec);
+      BQO_CHECK_MSG(graph_result.ok(),
+                    ("query failed to bind: " + spec.name).c_str());
+      const JoinGraph& graph = graph_result.value();
+
+      if (options_.use_plan_cache) {
+        const std::string signature =
+            PlanCache::Signature(graph, options_.optimizer);
+        // One version snapshot spans lookup, optimization, and insert: if
+        // the catalog moves on concurrently, the insert must carry the
+        // version this plan was optimized under (the cache then drops it
+        // at the next lookup) — re-reading here would stamp a stale plan
+        // with the new version and serve it forever.
+        const int64_t catalog_version = catalog_->version();
+        entry = cache_.Lookup(signature, catalog_version);
+        result.plan_cache_hit = entry != nullptr;
+        if (entry == nullptr) {
+          OptimizedQuery optimized =
+              OptimizeQuery(graph, &stats_, options_.optimizer);
+          result.optimize_ns = optimized.optimize_ns;
+          entry = cache_.Insert(signature, catalog_version, graph,
+                                std::move(optimized));
+        }
+      } else {
         OptimizedQuery optimized =
             OptimizeQuery(graph, &stats_, options_.optimizer);
         result.optimize_ns = optimized.optimize_ns;
-        entry = cache_.Insert(signature, catalog_version, graph,
-                              std::move(optimized));
+        // Uncached path still needs the graph to outlive this scope; reuse
+        // the cache entry layout without touching the cache.
+        auto owned = std::make_shared<CachedPlan>();
+        owned->graph = graph;
+        owned->plan = std::move(optimized.plan);
+        owned->plan.graph = &owned->graph;
+        owned->estimated_cost = optimized.estimated_cost;
+        owned->pruned_filters = optimized.pruned_filters;
+        owned->optimize_ns = optimized.optimize_ns;
+        entry = std::move(owned);
       }
-    } else {
-      OptimizedQuery optimized =
-          OptimizeQuery(graph, &stats_, options_.optimizer);
-      result.optimize_ns = optimized.optimize_ns;
-      // Uncached path still needs the graph to outlive this scope; reuse
-      // the cache entry layout without touching the cache.
-      auto owned = std::make_shared<CachedPlan>();
-      owned->graph = graph;
-      owned->plan = std::move(optimized.plan);
-      owned->plan.graph = &owned->graph;
-      owned->estimated_cost = optimized.estimated_cost;
-      owned->pruned_filters = optimized.pruned_filters;
-      owned->optimize_ns = optimized.optimize_ns;
-      entry = std::move(owned);
+    }
+    result.estimated_cost = entry->estimated_cost;
+    result.pruned_filters = entry->pruned_filters;
+
+    // Execution is outside the optimize lock: cached plans are read-only
+    // (fresh operator tree + FilterRuntime per run) and entry's shared_ptr
+    // keeps the plan alive across any concurrent invalidation.
+    result.metrics = ExecutePlan(entry->plan, exec);
+    for (const FilterStats& fs : result.metrics.filters) {
+      if (fs.created && fs.probed > 0) result.used_bitvectors = true;
     }
   }
-  result.estimated_cost = entry->estimated_cost;
-  result.pruned_filters = entry->pruned_filters;
 
-  // Execution is outside the optimize lock: cached plans are read-only
-  // (fresh operator tree + FilterRuntime per run) and entry's shared_ptr
-  // keeps the plan alive across any concurrent invalidation.
-  result.metrics = ExecutePlan(entry->plan, exec);
-  for (const FilterStats& fs : result.metrics.filters) {
-    if (fs.created && fs.probed > 0) result.used_bitvectors = true;
-  }
-
+  // The query's outcome is its context's first error — OK for a clean run,
+  // else whatever cancelled it (client cancel, deadline, injected fault).
+  // The admission slot is released unconditionally: a cancelled query must
+  // never leak capacity.
+  result.status = ctx->status();
   Release();
+  RecordOutcome(result.status);
   return result;
 }
 
@@ -128,7 +280,12 @@ int QueryService::peak_concurrent() const {
 
 int64_t QueryService::queries_served() const {
   std::lock_guard<std::mutex> lock(admit_mu_);
-  return served_;
+  return serving_.served;
+}
+
+ServingStats QueryService::serving_stats() const {
+  std::lock_guard<std::mutex> lock(admit_mu_);
+  return serving_;
 }
 
 }  // namespace bqo

@@ -10,20 +10,31 @@
 //     one heavy query cannot monopolize the shared WorkerPool. Because
 //     every drain's Wait() helps (worker_pool.h), an admitted query always
 //     has at least its own client thread running tasks — the share floor
-//     is 1 even when the pool is saturated.
+//     is 1 even when the pool is saturated. Under overload the wait is
+//     bounded two ways: at most `admission_queue_limit` queries wait at
+//     once (excess requests are *shed* immediately with
+//     kResourceExhausted), and a waiter whose deadline — or the service's
+//     `admission_timeout_ms` — expires leaves with kDeadlineExceeded. A
+//     cancelled waiter is woken promptly via a context cancel listener.
 //  2. **Plans** — binds the QuerySpec to a JoinGraph, then consults the
 //     PlanCache under the query's canonical signature: a hit skips
 //     optimization entirely (amortizing the paper's Section 6.5 overhead),
 //     a miss runs OptimizeQuery against the shared thread-safe
 //     StatsCatalog and caches the result.
-//  3. **Executes** — ExecutePlan on the caller's thread; all pipeline
-//     parallelism inside flows through the shared WorkerPool, so total
-//     engine threads stay bounded by the pool size regardless of client
-//     count.
+//  3. **Executes** — ExecutePlan on the caller's thread under the query's
+//     QueryContext (cancellation + deadline + first-error slot,
+//     query_context.h); all pipeline parallelism inside flows through the
+//     shared WorkerPool, so total engine threads stay bounded by the pool
+//     size regardless of client count. A cancelled, deadline-expired, or
+//     fault-struck query unwinds cooperatively in bounded time, releases
+//     its admission slot, and leaves the pool serving its neighbors; its
+//     first error surfaces in QueryResult::status and its partial metrics
+//     must be treated as void.
 //
 // Results and merged stats are identical to a single-query threads==1 run
 // of the same spec — admission, pooling, and caching are pure scheduling
-// (pinned by tests/test_query_service.cc under TSan).
+// (pinned by tests/test_query_service.cc under TSan). Every request lands
+// in exactly one ServingStats bucket (metrics.h) keyed by its final status.
 //
 // Invalidation: InvalidateCache() (or any Catalog::version() bump observed
 // at lookup) flushes cached plans; InvalidateCache also refreshes the
@@ -32,12 +43,14 @@
 #pragma once
 
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
 
 #include "src/exec/executor.h"
+#include "src/exec/query_context.h"
 #include "src/optimizer/optimizer.h"
 #include "src/server/plan_cache.h"
 #include "src/stats/table_stats.h"
@@ -59,12 +72,41 @@ struct QueryServiceOptions {
   int max_workers_per_query = 0;
   size_t plan_cache_capacity = 64;
   bool use_plan_cache = true;
+
+  // ---- Overload resilience (all off by default: unbounded queue, no
+  // deadline — the permissive pre-existing behavior) ----
+
+  /// Queries allowed to *wait* for admission at once; one more is shed
+  /// with kResourceExhausted instead of queueing. < 0 = unbounded.
+  /// Env overlay: BQO_ADMISSION_QUEUE (OptionsFromEnv below).
+  int admission_queue_limit = -1;
+  /// Cap on any query's admission wait, even without a deadline; a waiter
+  /// that exceeds it leaves with kDeadlineExceeded. 0 = wait forever
+  /// (modulo the query's own deadline, which always bounds the wait).
+  int64_t admission_timeout_ms = 0;
+  /// Deadline stamped on queries whose context has none (covering
+  /// admission wait + execution). 0 = none. Env overlay: BQO_DEADLINE_MS.
+  int64_t default_deadline_ms = 0;
+  /// Test seam: runs on the client thread right after admission, before
+  /// planning — deterministic overload/cancellation tests park admitted
+  /// queries here to force a full house without timing races.
+  std::function<void()> post_admit_hook;
 };
+
+/// \brief Overlay the serving env knobs (BQO_DEADLINE_MS,
+/// BQO_ADMISSION_QUEUE) onto `options` — how bench binaries plumb them in;
+/// the library itself never reads the environment.
+QueryServiceOptions ApplyServingEnvOverrides(QueryServiceOptions options);
 
 /// \brief One served query's outcome (the concurrent analogue of
 /// runner.h's QueryRun, plus serving-layer fields).
 struct QueryResult {
   std::string query_name;
+  /// OK = `metrics` holds a complete, correct result. Non-OK — kCancelled,
+  /// kDeadlineExceeded, kResourceExhausted (shed before running), or the
+  /// first internal error (e.g. an injected fault) — means the query was
+  /// unwound and every other field is partial or default: void.
+  Status status;
   QueryMetrics metrics;
   double estimated_cost = 0;
   int64_t optimize_ns = 0;  ///< 0 on a plan-cache hit (nothing optimized)
@@ -83,8 +125,17 @@ class QueryService {
 
   /// \brief Optimize (or fetch from cache) and execute `spec`. Safe to
   /// call from any number of client threads; blocks while the service is
-  /// at max_concurrent_queries.
-  QueryResult Execute(const QuerySpec& spec);
+  /// at max_concurrent_queries (bounded by the admission queue limit,
+  /// admission timeout, and the query's deadline — see the header comment).
+  ///
+  /// `ctx` (optional, borrowed for the duration of the call) lets the
+  /// client cancel the query or set its own deadline; null runs under a
+  /// private context. If neither carries a deadline,
+  /// options.default_deadline_ms (when set) is stamped on. The outcome —
+  /// including cancellation and shedding — is QueryResult::status; Execute
+  /// itself never blocks indefinitely on an overloaded service once a
+  /// bound is configured.
+  QueryResult Execute(const QuerySpec& spec, QueryContext* ctx = nullptr);
 
   /// \brief Drop cached plans and cached statistics (call after mutating
   /// table data; DDL is caught automatically via Catalog::version()).
@@ -97,11 +148,19 @@ class QueryService {
   /// \brief High-water mark of concurrently admitted queries (tests pin
   /// the admission bound with this).
   int peak_concurrent() const;
+  /// \brief Queries completed with an OK status (== serving_stats().served).
   int64_t queries_served() const;
+  /// \brief Per-outcome request counters (see metrics.h).
+  ServingStats serving_stats() const;
 
  private:
-  void Admit();
+  /// Admit under `ctx`'s deadline/cancellation and the service's queue
+  /// bound + wait timeout. OK = a slot is held (pair with Release);
+  /// non-OK = the request never ran and the status says why.
+  Status Admit(QueryContext* ctx);
   void Release();
+  /// Tally `status` into serving_; call exactly once per Execute().
+  void RecordOutcome(const Status& status);
 
   const Catalog* catalog_;
   QueryServiceOptions options_;
@@ -118,7 +177,8 @@ class QueryService {
   std::condition_variable admit_cv_;
   int active_ = 0;
   int peak_ = 0;
-  int64_t served_ = 0;
+  int waiting_ = 0;  ///< queued for admission (the shed bound's subject)
+  ServingStats serving_;
 };
 
 }  // namespace bqo

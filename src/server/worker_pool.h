@@ -40,7 +40,10 @@
 //    without this floor is a *raw-mode* exchange (test/bench-only; never
 //    compiled by the executor), whose consumer parks in Next() rather
 //    than Wait() — its producers still complete (all tasks are finite),
-//    but may serialize behind co-running queries' tasks first.
+//    but may serialize behind co-running queries' tasks first. That parked
+//    consumer is woken promptly on abort, cancel, or deadline expiry
+//    (exchange.h registers a cancel listener with the query's context), so
+//    even the raw-mode surface unwinds in bounded time when its query dies.
 //  * A pool of size 1 still runs every multi-worker drain correctly (the
 //    driver helps), which is what single-hardware-thread CI containers do.
 //

@@ -106,6 +106,33 @@ TEST(Status, OkAndErrors) {
   EXPECT_EQ(s.ToString(), "NotFound: missing");
 }
 
+TEST(Status, ServingFailureCodes) {
+  const Status cancelled = Status::Cancelled("client went away");
+  EXPECT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  EXPECT_TRUE(cancelled.IsCancelled());
+  EXPECT_FALSE(cancelled.IsDeadlineExceeded());
+  EXPECT_EQ(cancelled.ToString(), "Cancelled: client went away");
+
+  const Status deadline = Status::DeadlineExceeded("past due");
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(deadline.IsDeadlineExceeded());
+  EXPECT_FALSE(deadline.IsResourceExhausted());
+  EXPECT_EQ(deadline.ToString(), "DeadlineExceeded: past due");
+
+  const Status shed = Status::ResourceExhausted("queue full");
+  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(shed.IsResourceExhausted());
+  EXPECT_FALSE(shed.IsCancelled());
+  EXPECT_EQ(shed.ToString(), "ResourceExhausted: queue full");
+
+  // Each predicate matches exactly its own code.
+  EXPECT_FALSE(Status::Internal("x").IsCancelled());
+  EXPECT_FALSE(Status::OK().IsCancelled());
+  EXPECT_FALSE(Status::OK().IsDeadlineExceeded());
+  EXPECT_FALSE(Status::OK().IsResourceExhausted());
+}
+
 TEST(Result, ValueAndStatus) {
   Result<int> good(42);
   ASSERT_TRUE(good.ok());
