@@ -17,7 +17,14 @@
 // hardware threads (flat scaling there is a container artifact, not a
 // regression — README.md "thread-starved containers").
 //
-// After the scaling sweep, an **overload phase** runs a mixed workload —
+// After the scaling sweep, a **templated phase** replays the query set
+// with per-request jittered predicate literals (the same shapes, moved
+// constants) and reports the plan-shape cache's outcome counters —
+// shape_hits / rebinds / reoptimizations / drift_invalidations — as a
+// "templated_queries" JSON line; BQO_TEMPLATE_ROUNDS scales its sweep
+// count (the CI cache-stress smoke raises it under TSan).
+//
+// Then an **overload phase** runs a mixed workload —
 // the cheapest half of the query set as the "short" class, the most
 // expensive as "long", plus a "deadline" class (long queries carrying a
 // tight per-query deadline) — against a service with a bounded admission
@@ -46,6 +53,7 @@
 #include <vector>
 
 #include "src/common/fault_injector.h"
+#include "src/plan/predicate_shape.h"
 #include "src/server/query_service.h"
 #include "src/server/worker_pool.h"
 #include "src/workload/runner.h"
@@ -101,6 +109,91 @@ SweepResult RunSweep(QueryService* service, const Workload& workload,
                        .count();
   result.queries = static_cast<int64_t>(total);
   return result;
+}
+
+// ---- Templated-literal phase: the shape cache under varying constants ----
+
+/// Scale every int64 predicate constant of `spec` by a few percent —
+/// the decision-support template pattern the shape cache exists for. The
+/// factor cycles a small fixed set keyed by `variant`, so each (query,
+/// round) pair is deterministic while concurrent clients keep re-binding
+/// different literals into the same cached shapes.
+QuerySpec JitterSpecConstants(const QuerySpec& spec, int variant) {
+  static constexpr double kFactors[] = {1.0, 1.05, 0.95, 1.08, 0.92};
+  const double factor = kFactors[static_cast<size_t>(variant) % 5];
+  if (factor == 1.0) return spec;
+  QuerySpec out = spec;
+  for (auto& rel : out.relations) {
+    if (rel.predicate == nullptr) continue;
+    std::vector<Value> constants = CollectPredicateConstants(rel.predicate);
+    bool moved = false;
+    for (Value& v : constants) {
+      if (v.type() != DataType::kInt64) continue;
+      v = Value(static_cast<int64_t>(
+          static_cast<double>(v.AsInt64()) * factor));
+      moved = true;
+    }
+    if (moved) {
+      rel.predicate = RebindPredicateConstants(rel.predicate, constants);
+    }
+  }
+  return out;
+}
+
+/// Serving steady state under templated traffic: one service, every query
+/// arriving repeatedly with jittered literals. Emits the shape-cache
+/// outcome counters — under an in-band jitter the sweep should be almost
+/// all shape hits (exact + rebinds) with few re-optimizations; this is
+/// also the CI cache-stress smoke's TSan workout (concurrent re-binds,
+/// entry replacement, and EWMA feedback on shared entries).
+void RunTemplatedPhase(const Workload& workload, size_t limit, int rounds,
+                       int clients, int hw_threads, int pool_threads) {
+  QueryServiceOptions options;
+  options.optimizer.mode = OptimizerMode::kBqoShallow;
+  options.execution.exec = ExecConfigFromEnv();
+  options = ApplyServingEnvOverrides(options);
+  QueryService service(workload.catalog.get(), options);
+
+  const size_t total = limit * static_cast<size_t>(rounds);
+  std::atomic<size_t> cursor{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  const auto start = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= total) return;
+        const size_t qi = i % limit;
+        const int variant = static_cast<int>(i / limit + qi);
+        (void)service.Execute(
+            JitterSpecConstants(workload.queries[qi], variant));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const int64_t wall_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
+  const PlanCacheStats cache = service.cache_stats();
+  std::printf(
+      "{\"bench\":\"templated_queries\",\"workload\":\"%s\","
+      "\"clients\":%d,\"pool_threads\":%d,\"hardware_concurrency\":%d,"
+      "\"queries\":%zu,\"wall_ms\":%.2f,\"qps\":%.1f,"
+      "\"plan_cache_hit_rate\":%.3f,\"shape_hit_rate\":%.3f,"
+      "\"shape_hits\":%lld,\"rebinds\":%lld,\"reoptimizations\":%lld,"
+      "\"drift_invalidations\":%lld,\"valid\":%s}\n",
+      workload.name.c_str(), clients, pool_threads, hw_threads, total,
+      static_cast<double>(wall_ns) / 1e6,
+      static_cast<double>(total) / (static_cast<double>(wall_ns) / 1e9),
+      cache.HitRate(), cache.ShapeHitRate(),
+      static_cast<long long>(cache.shape_hits),
+      static_cast<long long>(cache.rebinds),
+      static_cast<long long>(cache.reoptimizations),
+      static_cast<long long>(cache.drift_invalidations),
+      clients <= hw_threads ? "true" : "false");
 }
 
 // ---- Overload phase: mixed request classes under a bounded service ----
@@ -323,13 +416,26 @@ int main() {
         "{\"bench\":\"concurrent_queries\",\"workload\":\"%s\","
         "\"clients\":%d,\"pool_threads\":%d,\"workers_per_query\":%d,"
         "\"hardware_concurrency\":%d,\"queries\":%lld,\"wall_ms\":%.2f,"
-        "\"qps\":%.1f,\"plan_cache_hit_rate\":%.3f,\"speedup_vs_1\":%.2f,"
+        "\"qps\":%.1f,\"plan_cache_hit_rate\":%.3f,\"shape_hit_rate\":%.3f,"
+        "\"shape_hits\":%lld,\"rebinds\":%lld,\"reoptimizations\":%lld,"
+        "\"drift_invalidations\":%lld,\"speedup_vs_1\":%.2f,"
         "\"valid\":%s}\n",
         workload.name.c_str(), clients, pool_threads,
         service.workers_per_query(), hw_threads,
         static_cast<long long>(r.queries), wall_ms, qps, cache.HitRate(),
+        cache.ShapeHitRate(), static_cast<long long>(cache.shape_hits),
+        static_cast<long long>(cache.rebinds),
+        static_cast<long long>(cache.reoptimizations),
+        static_cast<long long>(cache.drift_invalidations),
         qps / base_qps, clients <= hw_threads ? "true" : "false");
   }
+
+  // Templated-literal phase: same shapes, jittered constants — the
+  // plan-shape cache's target traffic. BQO_TEMPLATE_ROUNDS scales the
+  // sweep count for the CI cache-stress smoke.
+  const int template_clients = std::max(2, std::min(max_clients, 4));
+  RunTemplatedPhase(workload, limit, EnvInt("BQO_TEMPLATE_ROUNDS", rounds),
+                    template_clients, hw_threads, pool_threads);
 
   // Overload/resilience phase: mixed classes against a bounded service.
   const int overload_clients = std::max(2, std::min(max_clients, 4));

@@ -98,27 +98,47 @@ void SortMergeJoinOperator::Open() {
   Materialize(probe_.get(), &probe_side_);
   probe_->Close();
 
-  // Sort both sides by key (indices; rows stay put).
-  auto sort_side = [](Side* side, const std::vector<int>& key_positions) {
+  // Sort both sides by key (indices; rows stay put). The sort was the one
+  // long stretch of this operator with no cancellation point: it runs in
+  // morsel-sized runs with a ShouldStop poll between runs, then pairwise
+  // inplace_merge passes (also polled). The comparator is a strict total
+  // order (row-index tie-break), so the merged result is identical to one
+  // std::sort over the whole array — deadline or not, the output order
+  // never depends on where the polls landed.
+  QueryContext* ctx = runtime_ != nullptr ? runtime_->context : nullptr;
+  auto sort_side = [ctx](Side* side, const std::vector<int>& key_positions) {
     side->order.resize(static_cast<size_t>(side->num_rows()));
     for (size_t i = 0; i < side->order.size(); ++i) {
       side->order[i] = static_cast<int32_t>(i);
     }
-    std::sort(side->order.begin(), side->order.end(),
-              [side, &key_positions](int32_t a, int32_t b) {
-                for (int pos : key_positions) {
-                  const int64_t va =
-                      side->rows[static_cast<size_t>(a) *
-                                     static_cast<size_t>(side->width) +
-                                 static_cast<size_t>(pos)];
-                  const int64_t vb =
-                      side->rows[static_cast<size_t>(b) *
-                                     static_cast<size_t>(side->width) +
-                                 static_cast<size_t>(pos)];
-                  if (va != vb) return va < vb;
-                }
-                return a < b;
-              });
+    auto less = [side, &key_positions](int32_t a, int32_t b) {
+      for (int pos : key_positions) {
+        const int64_t va =
+            side->rows[static_cast<size_t>(a) *
+                           static_cast<size_t>(side->width) +
+                       static_cast<size_t>(pos)];
+        const int64_t vb =
+            side->rows[static_cast<size_t>(b) *
+                           static_cast<size_t>(side->width) +
+                       static_cast<size_t>(pos)];
+        if (va != vb) return va < vb;
+      }
+      return a < b;
+    };
+    const int64_t n = static_cast<int64_t>(side->order.size());
+    constexpr int64_t kRun = int64_t{1} << 16;
+    auto begin = side->order.begin();
+    for (int64_t lo = 0; lo < n; lo += kRun) {
+      if (CtxShouldStop(ctx)) return;  // abandon: Open flags done_ below
+      std::sort(begin + lo, begin + std::min(lo + kRun, n), less);
+    }
+    for (int64_t width = kRun; width < n; width *= 2) {
+      for (int64_t lo = 0; lo + width < n; lo += 2 * width) {
+        if (CtxShouldStop(ctx)) return;
+        std::inplace_merge(begin + lo, begin + lo + width,
+                           begin + std::min(lo + 2 * width, n), less);
+      }
+    }
   };
   sort_side(&build_side_, config_.build_key_positions);
   sort_side(&probe_side_, config_.probe_key_positions);
@@ -126,7 +146,11 @@ void SortMergeJoinOperator::Open() {
   b_cursor_ = 0;
   p_cursor_ = 0;
   in_group_ = false;
-  done_ = build_side_.num_rows() == 0 || probe_side_.num_rows() == 0;
+  // A cancellation observed mid-sort leaves the order arrays partially
+  // sorted; marking the join done keeps Next() from emitting rows out of
+  // them (the query's metrics are void by contract anyway).
+  done_ = build_side_.num_rows() == 0 || probe_side_.num_rows() == 0 ||
+          CtxShouldStop(ctx);
 }
 
 bool SortMergeJoinOperator::EmitRow(int64_t build_row, int64_t probe_row,

@@ -128,17 +128,41 @@ struct QueryMetrics {
 /// \brief Counters of the serving layer's plan cache (src/server/
 /// plan_cache.h): a hit skips optimization entirely and amortizes the
 /// bitvector-aware optimization overhead the paper's Section 6.5 measures.
+/// Since the cache keys on plan *shape*, a lookup lands in exactly one of
+/// hits (served from cache — exact or rebound), reoptimizations (shape
+/// matched but reuse was refused), or misses (shape absent).
 struct PlanCacheStats {
-  int64_t hits = 0;
-  int64_t misses = 0;
+  int64_t hits = 0;            ///< served from cache (exact + rebound)
+  int64_t misses = 0;          ///< shape absent
   int64_t evictions = 0;       ///< LRU entries dropped at capacity
   int64_t invalidations = 0;   ///< full flushes (catalog/stats change)
   int64_t entries = 0;         ///< current cache size
 
+  // ---- Shape-cache outcome detail ----
+  /// Lookups whose shape was present (hits + reoptimizations): the
+  /// template was recognized even when reuse was refused.
+  int64_t shape_hits = 0;
+  /// Hits that re-bound moved constants into a private plan instance
+  /// (hits - rebinds = exact-constant hits, the degenerate case).
+  int64_t rebinds = 0;
+  /// Shape hits escalated to full re-optimization (moved selectivity out
+  /// of the validity band, or the entry was marked stale by drift).
+  int64_t reoptimizations = 0;
+  /// Entries marked stale because the observed-lambda EWMA drifted past
+  /// the margin (each forces one re-optimization on its next lookup).
+  int64_t drift_invalidations = 0;
+
   double HitRate() const {
-    const int64_t lookups = hits + misses;
+    const int64_t lookups = hits + misses + reoptimizations;
     return lookups == 0 ? 0.0
                         : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+
+  double ShapeHitRate() const {
+    const int64_t lookups = hits + misses + reoptimizations;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(shape_hits) /
                               static_cast<double>(lookups);
   }
 };

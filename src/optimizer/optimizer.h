@@ -42,6 +42,24 @@ struct OptimizerOptions {
   int max_dp_relations = 14;
   /// Plan-count cap for kExhaustive.
   size_t exhaustive_limit = 50000;
+
+  // ---- Parameterized-plan validity band (src/optimizer/parameterized.h;
+  // not part of the plan's cache identity — they bound reuse, they don't
+  // change the plan optimization produces) ----
+
+  /// Widest selectivity band for re-bound plan reuse: a cached join order
+  /// is served while each re-bound relation's selectivity stays within
+  /// this factor (up or down) of its optimize-time value — tightened per
+  /// relation by probe re-optimizations (below). <= 1 disables banded
+  /// reuse: any moved constant escalates to full re-optimization.
+  /// Env overlay: BQO_SEL_BAND (ApplyServingEnvOverrides).
+  double reopt_sel_band = 4.0;
+  /// Probe re-optimizations per direction per predicated relation when
+  /// deriving the band: selectivity is scaled to geometric steps of
+  /// reopt_sel_band and the optimizer re-run; the band edge is the last
+  /// step at which the chosen join order and unpruned filter menu were
+  /// unchanged. 0 = skip probing and trust reopt_sel_band as-is.
+  int band_probe_steps = 2;
 };
 
 struct OptimizedQuery {

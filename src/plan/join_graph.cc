@@ -1,6 +1,7 @@
 #include "src/plan/join_graph.h"
 
 #include "src/common/string_util.h"
+#include "src/plan/predicate_shape.h"
 
 namespace bqo {
 
@@ -96,6 +97,39 @@ bool JoinGraph::IsConnected(RelSet set) const {
     frontier = next;
   }
   return reached == set;
+}
+
+std::string JoinGraph::ShapeSignature() const {
+  std::string sig;
+  // Relations in index order: base table + predicate shape (aliases are
+  // naming, not semantics — excluded so alias-renamed queries collide).
+  for (int r = 0; r < num_relations(); ++r) {
+    const RelationRef& rel = relation(r);
+    sig += StringFormat(";R%d=%s|", r, rel.table_name.c_str());
+    sig += PredicateShape(rel.predicate);
+  }
+  // Edges: endpoints, column lists, and the uniqueness flags Definition 1
+  // keys on. BuildJoinGraph emits edges in a deterministic order for a
+  // given spec, so equal queries produce equal signatures.
+  for (int e = 0; e < num_edges(); ++e) {
+    const JoinEdge& edge = this->edge(e);
+    sig += StringFormat(";E%d=%d<%d:", e, edge.left, edge.right);
+    sig += JoinStrings(edge.left_cols, ",");
+    sig += "=";
+    sig += JoinStrings(edge.right_cols, ",");
+    sig += StringFormat(":%d%d", edge.left_unique ? 1 : 0,
+                        edge.right_unique ? 1 : 0);
+  }
+  return sig;
+}
+
+std::vector<std::vector<Value>> JoinGraph::ConstantTable() const {
+  std::vector<std::vector<Value>> table;
+  table.reserve(relations_.size());
+  for (const RelationRef& rel : relations_) {
+    table.push_back(CollectPredicateConstants(rel.predicate));
+  }
+  return table;
 }
 
 int JoinGraph::FindRelation(std::string_view alias) const {

@@ -111,6 +111,20 @@ class JoinGraph {
   /// \brief Index of the relation with this alias, or -1.
   int FindRelation(std::string_view alias) const;
 
+  /// \brief Canonical *shape* signature: relations in index order as
+  /// `table|predicate-shape` (literal constants replaced by typed `?`
+  /// slots, src/plan/predicate_shape.h) plus every edge's endpoints,
+  /// column lists, and uniqueness flags. Two queries that differ only in
+  /// bound constants — or in aliases, which are naming, not semantics —
+  /// share a shape signature; the serving layer's plan cache keys on it.
+  std::string ShapeSignature() const;
+
+  /// \brief Per-relation bound-constant slot tables, index-aligned with
+  /// the relations (CollectPredicateConstants of each local predicate).
+  /// Together with ShapeSignature this is a lossless split of the query's
+  /// predicates into structure and constants.
+  std::vector<std::vector<Value>> ConstantTable() const;
+
   std::string ToString() const;
 
  private:

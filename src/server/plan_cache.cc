@@ -1,83 +1,156 @@
 #include "src/server/plan_cache.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "src/common/string_util.h"
+#include "src/stats/estimated_cout.h"
 
 namespace bqo {
 
-PlanCache::PlanCache(size_t capacity)
-    : capacity_(std::max<size_t>(1, capacity)) {}
+PlanCache::PlanCache(PlanCacheOptions options)
+    : options_(options), capacity_(std::max<size_t>(1, options.capacity)) {}
 
-std::string PlanCache::Signature(const JoinGraph& graph,
-                                 const OptimizerOptions& options) {
+PlanCache::PlanCache(size_t capacity)
+    : PlanCache([capacity] {
+        PlanCacheOptions options;
+        options.capacity = capacity;
+        return options;
+      }()) {}
+
+std::string PlanCache::ShapeSignature(const JoinGraph& graph,
+                                      const OptimizerOptions& options) {
   // Optimizer knobs first — they change the produced plan, so they are
-  // part of the identity of the cached artifact.
+  // part of the identity of the cached artifact. The band/drift knobs are
+  // deliberately absent: they bound reuse, not the plan itself.
   std::string sig = StringFormat(
-      "mode=%s;lambda=%.9g;fp=%.9g;dp=%d;exh=%zu", OptimizerModeName(options.mode),
-      options.lambda_thresh, options.filter_fp_rate, options.max_dp_relations,
+      "mode=%s;lambda=%.9g;fp=%.9g;dp=%d;exh=%zu",
+      OptimizerModeName(options.mode), options.lambda_thresh,
+      options.filter_fp_rate, options.max_dp_relations,
       options.exhaustive_limit);
-  // Relations in index order: base table + predicate text (aliases are
-  // naming, not semantics — excluded so alias-renamed queries hit).
-  for (int r = 0; r < graph.num_relations(); ++r) {
-    const RelationRef& rel = graph.relation(r);
-    sig += StringFormat(";R%d=%s|", r, rel.table_name.c_str());
-    sig += rel.predicate == nullptr ? "true" : rel.predicate->ToString();
-  }
-  // Edges: endpoints, column lists, and the uniqueness flags Definition 1
-  // keys on. BuildJoinGraph emits edges in a deterministic order for a
-  // given spec, so equal queries produce equal signatures.
-  for (int e = 0; e < graph.num_edges(); ++e) {
-    const JoinEdge& edge = graph.edge(e);
-    sig += StringFormat(";E%d=%d<%d:", e, edge.left, edge.right);
-    sig += JoinStrings(edge.left_cols, ",");
-    sig += "=";
-    sig += JoinStrings(edge.right_cols, ",");
-    sig += StringFormat(":%d%d", edge.left_unique ? 1 : 0,
-                        edge.right_unique ? 1 : 0);
-  }
+  sig += graph.ShapeSignature();
   return sig;
 }
 
-std::shared_ptr<const CachedPlan> PlanCache::Lookup(
-    const std::string& signature, int64_t catalog_version) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (catalog_version != seen_catalog_version_) {
-    if (!entries_.empty()) InvalidateLocked();
-    seen_catalog_version_ = catalog_version;
+PlanCache::LookupOutcome PlanCache::Lookup(const std::string& shape_signature,
+                                           int64_t catalog_version,
+                                           const JoinGraph& query_graph) {
+  LookupOutcome out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (catalog_version != seen_catalog_version_) {
+      if (!entries_.empty()) InvalidateLocked();
+      seen_catalog_version_ = catalog_version;
+    }
+    auto it = entries_.find(shape_signature);
+    if (it == entries_.end()) {
+      ++stats_.misses;
+      return out;  // kMiss
+    }
+    ++stats_.shape_hits;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);  // bump to MRU
+    out.entry = it->second.entry;
   }
-  auto it = entries_.find(signature);
-  if (it == entries_.end()) {
-    ++stats_.misses;
-    return nullptr;
+  const CachedPlan& entry = *out.entry;
+
+  // The classification below runs outside mu_: entries are immutable but
+  // for the feedback block, and re-estimation evaluates predicates over
+  // base tables — far too heavy for the cache lock.
+  auto refuse = [&] {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.reoptimizations;
+    out.kind = LookupOutcome::Kind::kReoptimize;
+    return out;
+  };
+  if (entry.stale.load(std::memory_order_relaxed)) return refuse();
+
+  const std::vector<std::vector<Value>> query_constants =
+      query_graph.ConstantTable();
+  if (query_constants.size() != entry.constants.size()) return refuse();
+  std::vector<int> moved;
+  for (size_t r = 0; r < query_constants.size(); ++r) {
+    if (!(query_constants[r] == entry.constants[r])) {
+      moved.push_back(static_cast<int>(r));
+    }
   }
-  ++stats_.hits;
-  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);  // bump to MRU
-  return it->second.entry;
+
+  if (moved.empty()) {
+    // Exact-constant hit — the degenerate (zero moved slots) case: serve
+    // the shared entry itself, as the pre-shape cache did.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.hits;
+    out.kind = LookupOutcome::Kind::kServed;
+    out.instance = out.entry;
+    return out;
+  }
+
+  // Re-bind: private instance with the cached join order, the query's
+  // predicates, and fresh selectivities for the moved relations only.
+  auto inst = std::make_shared<CachedPlan>();
+  inst->graph = entry.graph;  // optimize-time constants + statistics
+  for (int r : moved) {
+    RelationRef& rel = inst->graph.relation(r);
+    rel.predicate = query_graph.relation(r).predicate;
+    AttachRelationStatistics(&inst->graph, r);  // only the moved slots
+    const double base = std::max(rel.base_rows, 1.0);
+    const double sel = std::clamp(rel.filtered_rows / base, 0.0, 1.0);
+    if (!entry.bands[static_cast<size_t>(r)].Contains(sel)) {
+      // Out of the validity band: the cached join order is not known to
+      // be the optimizer's choice at this selectivity. Escalate.
+      return refuse();
+    }
+  }
+  // Aliases are naming, not semantics (excluded from the shape), but the
+  // served instance should carry the query's names in labels and metrics.
+  for (int r = 0; r < inst->graph.num_relations(); ++r) {
+    inst->graph.relation(r).alias = query_graph.relation(r).alias;
+  }
+  inst->plan = entry.plan.Clone();
+  inst->plan.graph = &inst->graph;
+  inst->estimated_cost = entry.estimated_cost;
+  inst->pruned_filters = entry.pruned_filters;
+  inst->optimize_ns = entry.optimize_ns;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.hits;
+    ++stats_.rebinds;
+  }
+  out.kind = LookupOutcome::Kind::kServed;
+  out.instance = std::move(inst);
+  out.rebound = true;
+  return out;
 }
 
 std::shared_ptr<const CachedPlan> PlanCache::Insert(
-    const std::string& signature, int64_t catalog_version,
-    const JoinGraph& graph, OptimizedQuery optimized) {
+    const std::string& shape_signature, int64_t catalog_version,
+    const JoinGraph& graph, ParameterizedPlan optimized) {
   auto entry = std::make_shared<CachedPlan>();
   entry->graph = graph;  // owned copy: the caller's graph is stack-local
-  entry->plan = std::move(optimized.plan);
+  entry->plan = std::move(optimized.optimized.plan);
   entry->plan.graph = &entry->graph;  // re-bind to the stable copy
-  entry->estimated_cost = optimized.estimated_cost;
-  entry->pruned_filters = optimized.pruned_filters;
-  entry->optimize_ns = optimized.optimize_ns;
+  entry->estimated_cost = optimized.optimized.estimated_cost;
+  entry->pruned_filters = optimized.optimized.pruned_filters;
+  entry->optimize_ns = optimized.optimized.optimize_ns;
+  entry->constants = std::move(optimized.constants);
+  entry->optimize_sel = std::move(optimized.optimize_sel);
+  entry->bands = std::move(optimized.bands);
+  entry->estimated_lambda = std::move(optimized.estimated_lambda);
+  entry->lambda_ewma.assign(entry->estimated_lambda.size(), -1.0);
 
   std::lock_guard<std::mutex> lock(mu_);
   if (catalog_version != seen_catalog_version_) {
     if (!entries_.empty()) InvalidateLocked();
     seen_catalog_version_ = catalog_version;
   }
-  auto it = entries_.find(signature);
+  auto it = entries_.find(shape_signature);
   if (it != entries_.end()) {
-    // A concurrent miss on the same signature optimized twice; keep the
-    // first entry so later hits all share one plan, and hand the loser its
-    // own (equivalent) result.
+    // Replace: the re-optimization escalation swaps the stale/out-of-band
+    // entry for the fresh one. (A concurrent double-optimize lands here
+    // too; both entries are fresh and equivalent, so last-wins is fine.)
+    it->second.entry = entry;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
     return entry;
   }
   while (entries_.size() >= capacity_) {
@@ -85,9 +158,39 @@ std::shared_ptr<const CachedPlan> PlanCache::Insert(
     lru_.pop_back();
     ++stats_.evictions;
   }
-  lru_.push_front(signature);
-  entries_.emplace(signature, Slot{entry, lru_.begin()});
+  lru_.push_front(shape_signature);
+  entries_.emplace(shape_signature, Slot{entry, lru_.begin()});
   return entry;
+}
+
+void PlanCache::RecordObservedLambdas(
+    const std::shared_ptr<const CachedPlan>& entry,
+    const std::vector<FilterStats>& filters) {
+  if (entry == nullptr || options_.lambda_drift_margin <= 0) return;
+  bool drifted = false;
+  {
+    std::lock_guard<std::mutex> feedback(entry->feedback_mu);
+    for (const FilterStats& fs : filters) {
+      if (!fs.created || fs.probed <= 0 || fs.filter_id < 0) continue;
+      const size_t id = static_cast<size_t>(fs.filter_id);
+      if (id >= entry->lambda_ewma.size()) continue;
+      const double observed = fs.ObservedLambda();
+      double& ewma = entry->lambda_ewma[id];
+      ewma = ewma < 0 ? observed
+                      : (1.0 - options_.lambda_ewma_alpha) * ewma +
+                            options_.lambda_ewma_alpha * observed;
+      if (std::abs(ewma - entry->estimated_lambda[id]) >
+          options_.lambda_drift_margin) {
+        drifted = true;
+      }
+    }
+  }
+  // exchange, not store: drift_invalidations counts entries marked, not
+  // post-stale executions that drift again.
+  if (drifted && !entry->stale.exchange(true)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.drift_invalidations;
+  }
 }
 
 void PlanCache::InvalidateLocked() {

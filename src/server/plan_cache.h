@@ -1,60 +1,88 @@
-// PlanCache: bitvector-aware optimized plans keyed by canonical query
-// signature, for the serving layer.
+// PlanCache: parameterized plan-shape cache for the serving layer.
 //
 // The paper measures a real optimization-time overhead for bitvector-aware
 // costing (Section 6.5: Algorithm 3 ordering, filter placement, cost-based
 // pruning all run per query). Decision-support traffic is template-heavy —
-// the same join graph with the same predicates arrives again and again — so
-// a serving system amortizes that overhead by caching the *optimized* plan:
-// a hit skips BuildJoinGraph's statistics work and the whole optimizer, and
-// goes straight to CompilePlan (the same plan-reuse argument Exqutor makes
-// for extended optimizers).
+// the same join graph and predicate *structure* arrives again and again
+// with varying literals — so the cache keys plans by **shape** and
+// re-binds constants per query instead of missing on every changed
+// literal.
 //
 // == Keying ==
 //
-// The key is a canonical textual signature of (optimizer options, join
-// graph shape, per-relation predicate), built by Signature(): relations in
-// index order as `table|predicate`, edges as
-// `l<r:l_cols=r_cols:uniqueness`. Aliases are deliberately excluded — two
-// queries that differ only in how occurrences are named share a plan.
-// Optimizer knobs are included because they change the produced plan (mode,
-// lambda threshold, fp rate, DP caps).
+// The key is (optimizer options, JoinGraph::ShapeSignature): relation
+// tables + predicate shapes with constants as typed `?` slots
+// (src/plan/predicate_shape.h), plus edges and uniqueness flags. Aliases
+// are deliberately excluded — two queries that differ only in how
+// occurrences are named share a plan. Optimizer knobs are included because
+// they change the produced plan (mode, lambda threshold, fp rate, DP
+// caps). A query whose predicates have no constant slots degenerates to
+// the old exact-match cache: its lookups always compare equal.
+//
+// == Lookup = match + re-bind + validity check ==
+//
+// Lookup matches on shape, then compares the query's constant slot table
+// against the entry's. Identical constants: the entry itself is served
+// (zero-copy, the degenerate exact hit). Moved constants: the entry's
+// graph is copied, the query's predicates installed, and **only the moved
+// relations'** selectivities re-estimated (AttachRelationStatistics —
+// exact single-table cardinalities); if every moved selectivity lands
+// inside the entry's validity band (derived by probe re-optimizations,
+// src/optimizer/parameterized.h) and the entry is not stale, a private
+// executable instance with the cached join order is served (`rebinds`).
+// Out-of-band, stale, or mismatched slots escalate: the caller must run
+// OptimizeParameterized and Insert, which *replaces* the entry
+// (`reoptimizations`).
+//
+// == Feedback ==
+//
+// After execution, RecordObservedLambdas folds the executed plan's
+// observed per-filter lambdas (FilterStats::ObservedLambda — exact, merged
+// once per query) into the entry as an EWMA. When the EWMA drifts further
+// than `lambda_drift_margin` from the optimize-time estimate, the entry is
+// marked stale (`drift_invalidations`) and the next shape hit
+// re-optimizes — the paper's robustness margin made runtime-live.
 //
 // == Ownership and concurrent execution ==
 //
-// A Plan borrows its JoinGraph (`Plan::graph` is a raw pointer), and the
-// graph a caller optimizes against is usually stack-local — so the cache
-// entry *owns a copy* of the graph and re-points the stored plan at it.
-// Entries are handed out as shared_ptr<const CachedPlan>: eviction or
+// A Plan borrows its JoinGraph (`Plan::graph` is a raw pointer), so every
+// served instance owns the graph its plan points at: cache entries own a
+// copy, rebound instances own their private rebound copy. Entries are
+// handed out as shared_ptr<const CachedPlan>: eviction, replacement, or
 // invalidation never frees a plan another client thread is still
 // executing, and executing a cached plan is read-only (CompilePlan/
 // ExecutePlan build fresh operator trees and a fresh FilterRuntime per
 // execution), so any number of clients may run the same entry at once.
+// The only mutable entry state is the feedback block (EWMA + stale flag),
+// guarded by its own mutex / atomic.
 //
 // == Invalidation ==
 //
 // Every entry snapshots Catalog::version() (DDL bumps it; bulk data loads
-// bump it via Catalog::BumpVersion). A lookup under a newer version flushes
-// the cache — cached plans bind Table pointers and statistics-derived join
-// orders, either of which the change may have invalidated. Counters
-// (hits/misses/evictions/invalidations) are reported as PlanCacheStats
-// (src/exec/metrics.h).
+// bump it via Catalog::BumpVersion). A lookup under a newer version
+// flushes the cache — cached plans bind Table pointers and
+// statistics-derived join orders, either of which the change may have
+// invalidated. Counters are reported as PlanCacheStats (src/exec/
+// metrics.h).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/exec/metrics.h"
-#include "src/optimizer/optimizer.h"
+#include "src/optimizer/parameterized.h"
 
 namespace bqo {
 
-/// \brief One cached entry: the optimized plan plus the owned graph copy
-/// it is bound to, and the optimize-time measurements a hit amortizes.
+/// \brief One cached (or privately rebound) plan: the optimized plan, the
+/// owned graph copy it is bound to, the slot/band annotations reuse keys
+/// on, and the optimize-time measurements a hit amortizes.
 struct CachedPlan {
   JoinGraph graph;  ///< owned copy; plan.graph points at this member
   Plan plan;
@@ -63,39 +91,96 @@ struct CachedPlan {
   double estimated_cost = 0;
   int pruned_filters = 0;
   int64_t optimize_ns = 0;  ///< what the hit saved
+
+  // ---- Reuse annotations (src/optimizer/parameterized.h) ----
+  std::vector<std::vector<Value>> constants;  ///< optimize-time slot table
+  std::vector<double> optimize_sel;           ///< per relation
+  std::vector<SelectivityBand> bands;         ///< per relation
+  std::vector<double> estimated_lambda;       ///< per filter id
+
+  // ---- Feedback block: the only mutable state of a shared entry ----
+  /// Observed-lambda EWMA per filter id (< 0 = no samples yet); guarded
+  /// by feedback_mu.
+  mutable std::vector<double> lambda_ewma;
+  mutable std::mutex feedback_mu;
+  /// Set once the EWMA drifts past the margin; read lock-free at lookup.
+  mutable std::atomic<bool> stale{false};
+};
+
+struct PlanCacheOptions {
+  size_t capacity = 64;  ///< LRU capacity (>= 1)
+  /// Drift margin on observed lambda: an entry whose per-filter EWMA
+  /// leaves [estimate - margin, estimate + margin] is marked stale and
+  /// re-optimized on its next shape hit. <= 0 disables drift feedback.
+  /// Env overlay: BQO_DRIFT_MARGIN (ApplyServingEnvOverrides).
+  double lambda_drift_margin = 0.25;
+  /// EWMA smoothing factor for observed lambda (0 < alpha <= 1; higher =
+  /// reacts faster). Env overlay: BQO_EWMA_ALPHA.
+  double lambda_ewma_alpha = 0.3;
 };
 
 class PlanCache {
  public:
-  /// \brief LRU cache holding at most `capacity` plans (>= 1).
+  explicit PlanCache(PlanCacheOptions options);
+  /// \brief Convenience: default drift knobs with this LRU capacity.
   explicit PlanCache(size_t capacity);
 
-  /// \brief The entry for `signature`, or null (miss). `catalog_version`
-  /// is the current Catalog::version(); if it differs from the version the
-  /// cache last saw, every entry is flushed first (counted as one
-  /// invalidation) and the lookup misses.
-  std::shared_ptr<const CachedPlan> Lookup(const std::string& signature,
-                                           int64_t catalog_version);
+  /// \brief Outcome of a shape lookup; see the header comment.
+  struct LookupOutcome {
+    enum class Kind {
+      kMiss,        ///< shape absent: optimize + Insert
+      kServed,      ///< `instance` is executable (exact or rebound)
+      kReoptimize,  ///< shape present but reuse refused: optimize + Insert
+                    ///< (which replaces the entry)
+    };
+    Kind kind = Kind::kMiss;
+    /// kServed: the plan to execute — the cache entry itself on an
+    /// exact-constant hit, a private rebound instance otherwise.
+    std::shared_ptr<const CachedPlan> instance;
+    /// kServed/kReoptimize: the cache-resident entry (feedback target —
+    /// pass to RecordObservedLambdas after executing `instance`).
+    std::shared_ptr<const CachedPlan> entry;
+    /// kServed: true when >= 1 constant slot moved and was re-bound.
+    bool rebound = false;
+  };
 
-  /// \brief Insert the result of optimizing `graph` under `signature`,
-  /// copying the graph so the entry outlives the caller's; returns the
-  /// entry (also handed to concurrent clients on later hits). Evicts the
-  /// least-recently-used entry at capacity. A concurrent insert under the
-  /// same signature wins-first; the loser's entry is returned to its
-  /// caller but not cached twice.
-  std::shared_ptr<const CachedPlan> Insert(const std::string& signature,
+  /// \brief Shape lookup + constant re-bind for `query_graph` (bound
+  /// tables and actual literals required; statistics not required — only
+  /// moved relations are re-estimated, against the entry's recorded
+  /// values). `catalog_version` is the current Catalog::version(); if it
+  /// differs from the version the cache last saw, every entry is flushed
+  /// first (counted as one invalidation) and the lookup misses.
+  LookupOutcome Lookup(const std::string& shape_signature,
+                       int64_t catalog_version, const JoinGraph& query_graph);
+
+  /// \brief Insert the result of optimizing `graph` under
+  /// `shape_signature`, copying the graph so the entry outlives the
+  /// caller's; returns the entry (also handed to concurrent clients on
+  /// later hits). Replaces an existing entry under the same signature —
+  /// the re-optimization escalation path — and evicts the
+  /// least-recently-used entry at capacity.
+  std::shared_ptr<const CachedPlan> Insert(const std::string& shape_signature,
                                            int64_t catalog_version,
                                            const JoinGraph& graph,
-                                           OptimizedQuery optimized);
+                                           ParameterizedPlan optimized);
+
+  /// \brief Fold an executed query's observed per-filter lambdas into
+  /// `entry`'s EWMA; marks the entry stale (one drift_invalidation) when
+  /// any filter's EWMA drifts past the margin. Call only for queries that
+  /// completed OK — a cancelled query's partial counters are void.
+  void RecordObservedLambdas(const std::shared_ptr<const CachedPlan>& entry,
+                             const std::vector<FilterStats>& filters);
 
   /// \brief Drop every entry (counted as an invalidation).
   void Invalidate();
 
   PlanCacheStats stats() const;
 
-  /// \brief Canonical signature of (graph, options); see header comment.
-  static std::string Signature(const JoinGraph& graph,
-                               const OptimizerOptions& options);
+  /// \brief Canonical shape signature of (options, graph): the optimizer
+  /// knobs that change the produced plan, then
+  /// JoinGraph::ShapeSignature().
+  static std::string ShapeSignature(const JoinGraph& graph,
+                                    const OptimizerOptions& options);
 
  private:
   struct Slot {
@@ -105,6 +190,7 @@ class PlanCache {
 
   void InvalidateLocked();
 
+  const PlanCacheOptions options_;
   const size_t capacity_;
   mutable std::mutex mu_;
   std::unordered_map<std::string, Slot> entries_;

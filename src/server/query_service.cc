@@ -7,6 +7,7 @@
 
 #include "src/common/fault_injector.h"
 #include "src/server/worker_pool.h"
+#include "src/stats/estimated_cout.h"
 
 namespace bqo {
 
@@ -19,14 +20,43 @@ QueryServiceOptions ApplyServingEnvOverrides(QueryServiceOptions options) {
     // "0" is meaningful: no waiting at all — run-or-shed admission.
     options.admission_queue_limit = std::atoi(q);
   }
+  if (const char* c = std::getenv("BQO_PLAN_CACHE_CAP")) {
+    const long long cap = std::atoll(c);
+    if (cap > 0) options.plan_cache_capacity = static_cast<size_t>(cap);
+  }
+  if (const char* b = std::getenv("BQO_SEL_BAND")) {
+    // <= 1 is meaningful: banded reuse off, any moved constant
+    // re-optimizes.
+    options.optimizer.reopt_sel_band = std::atof(b);
+  }
+  if (const char* m = std::getenv("BQO_DRIFT_MARGIN")) {
+    // <= 0 is meaningful: the drift feedback loop is disabled.
+    options.lambda_drift_margin = std::atof(m);
+  }
+  if (const char* a = std::getenv("BQO_EWMA_ALPHA")) {
+    const double alpha = std::atof(a);
+    if (alpha > 0 && alpha <= 1) options.lambda_ewma_alpha = alpha;
+  }
   return options;
 }
+
+namespace {
+
+PlanCacheOptions CacheOptionsFrom(const QueryServiceOptions& options) {
+  PlanCacheOptions cache;
+  cache.capacity = options.plan_cache_capacity;
+  cache.lambda_drift_margin = options.lambda_drift_margin;
+  cache.lambda_ewma_alpha = options.lambda_ewma_alpha;
+  return cache;
+}
+
+}  // namespace
 
 QueryService::QueryService(const Catalog* catalog, QueryServiceOptions options)
     : catalog_(catalog),
       options_(std::move(options)),
       stats_(catalog),
-      cache_(options_.plan_cache_capacity) {
+      cache_(CacheOptionsFrom(options_)) {
   const int pool = WorkerPool::Global().num_threads();
   max_concurrent_ = options_.max_concurrent_queries > 0
                         ? options_.max_concurrent_queries
@@ -201,35 +231,54 @@ QueryResult QueryService::Execute(const QuerySpec& spec,
   // admission wait must stop the query here, before planning.
   if (!ctx->ShouldStop()) {
     std::shared_ptr<const CachedPlan> entry;
+    std::shared_ptr<const CachedPlan> feedback_entry;
     {
       // Shared lock: many queries optimize concurrently; InvalidateCache
       // takes it exclusive so stats references never die under an
       // optimizer.
       std::shared_lock<std::shared_mutex> lock(optimize_mu_);
-      auto graph_result = BuildJoinGraph(*catalog_, spec);
-      BQO_CHECK_MSG(graph_result.ok(),
-                    ("query failed to bind: " + spec.name).c_str());
-      const JoinGraph& graph = graph_result.value();
-
       if (options_.use_plan_cache) {
+        // Statistics are deferred: a shape hit re-estimates only the
+        // relations whose constants moved (inside Lookup); the miss and
+        // escalation paths attach the full statistics below, before
+        // optimizing.
+        auto graph_result =
+            BuildJoinGraph(*catalog_, spec, /*attach_statistics=*/false);
+        BQO_CHECK_MSG(graph_result.ok(),
+                      ("query failed to bind: " + spec.name).c_str());
+        JoinGraph& graph = graph_result.value();
         const std::string signature =
-            PlanCache::Signature(graph, options_.optimizer);
+            PlanCache::ShapeSignature(graph, options_.optimizer);
         // One version snapshot spans lookup, optimization, and insert: if
         // the catalog moves on concurrently, the insert must carry the
         // version this plan was optimized under (the cache then drops it
         // at the next lookup) — re-reading here would stamp a stale plan
         // with the new version and serve it forever.
         const int64_t catalog_version = catalog_->version();
-        entry = cache_.Lookup(signature, catalog_version);
-        result.plan_cache_hit = entry != nullptr;
-        if (entry == nullptr) {
-          OptimizedQuery optimized =
-              OptimizeQuery(graph, &stats_, options_.optimizer);
-          result.optimize_ns = optimized.optimize_ns;
+        PlanCache::LookupOutcome looked =
+            cache_.Lookup(signature, catalog_version, graph);
+        if (looked.kind == PlanCache::LookupOutcome::Kind::kServed) {
+          result.plan_cache_hit = true;
+          result.plan_rebound = looked.rebound;
+          entry = std::move(looked.instance);
+          feedback_entry = std::move(looked.entry);
+        } else {
+          // Miss — or an escalation (out-of-band re-bound selectivity, or
+          // an entry gone stale under lambda drift), where Insert
+          // replaces the refused entry.
+          AttachStatistics(&graph);
+          ParameterizedPlan optimized =
+              OptimizeParameterized(graph, &stats_, options_.optimizer);
+          result.optimize_ns = optimized.optimized.optimize_ns;
           entry = cache_.Insert(signature, catalog_version, graph,
                                 std::move(optimized));
+          feedback_entry = entry;
         }
       } else {
+        auto graph_result = BuildJoinGraph(*catalog_, spec);
+        BQO_CHECK_MSG(graph_result.ok(),
+                      ("query failed to bind: " + spec.name).c_str());
+        const JoinGraph& graph = graph_result.value();
         OptimizedQuery optimized =
             OptimizeQuery(graph, &stats_, options_.optimizer);
         result.optimize_ns = optimized.optimize_ns;
@@ -254,6 +303,12 @@ QueryResult QueryService::Execute(const QuerySpec& spec,
     result.metrics = ExecutePlan(entry->plan, exec);
     for (const FilterStats& fs : result.metrics.filters) {
       if (fs.created && fs.probed > 0) result.used_bitvectors = true;
+    }
+    // Feedback: fold the observed per-filter lambdas into the cache entry
+    // — only for complete executions; a cancelled or fault-struck query's
+    // partial counters are void by contract and must not poison the EWMA.
+    if (feedback_entry != nullptr && ctx->status().ok()) {
+      cache_.RecordObservedLambdas(feedback_entry, result.metrics.filters);
     }
   }
 

@@ -16,11 +16,20 @@
 //     kResourceExhausted), and a waiter whose deadline — or the service's
 //     `admission_timeout_ms` — expires leaves with kDeadlineExceeded. A
 //     cancelled waiter is woken promptly via a context cancel listener.
-//  2. **Plans** — binds the QuerySpec to a JoinGraph, then consults the
-//     PlanCache under the query's canonical signature: a hit skips
-//     optimization entirely (amortizing the paper's Section 6.5 overhead),
-//     a miss runs OptimizeQuery against the shared thread-safe
-//     StatsCatalog and caches the result.
+//  2. **Plans** — binds the QuerySpec to a JoinGraph (statistics
+//     deferred), then consults the PlanCache under the query's canonical
+//     *shape* signature (literals as slots, src/plan/predicate_shape.h).
+//     A shape hit re-binds the query's constants into the cached plan,
+//     re-estimating only the relations whose slots moved, and serves the
+//     cached join order while those selectivities stay inside the entry's
+//     validity band (src/optimizer/parameterized.h) — skipping the
+//     optimizer entirely (amortizing the paper's Section 6.5 overhead). A
+//     miss — or an escalation (selectivity out of band, or the entry
+//     marked stale by observed-lambda drift) — attaches full statistics
+//     and runs OptimizeParameterized against the shared thread-safe
+//     StatsCatalog, caching (or replacing) the entry. After an OK
+//     execution the observed per-filter lambdas feed back into the entry
+//     (PlanCache::RecordObservedLambdas).
 //  3. **Executes** — ExecutePlan on the caller's thread under the query's
 //     QueryContext (cancellation + deadline + first-error slot,
 //     query_context.h); all pipeline parallelism inside flows through the
@@ -72,6 +81,13 @@ struct QueryServiceOptions {
   int max_workers_per_query = 0;
   size_t plan_cache_capacity = 64;
   bool use_plan_cache = true;
+  /// Drift margin on observed filter lambda before a cached entry is
+  /// marked stale (re-optimized on its next shape hit); <= 0 disables the
+  /// feedback loop. Env overlay: BQO_DRIFT_MARGIN.
+  double lambda_drift_margin = 0.25;
+  /// EWMA smoothing factor for the observed-lambda feedback (0 < alpha
+  /// <= 1). Env overlay: BQO_EWMA_ALPHA.
+  double lambda_ewma_alpha = 0.3;
 
   // ---- Overload resilience (all off by default: unbounded queue, no
   // deadline — the permissive pre-existing behavior) ----
@@ -94,8 +110,9 @@ struct QueryServiceOptions {
 };
 
 /// \brief Overlay the serving env knobs (BQO_DEADLINE_MS,
-/// BQO_ADMISSION_QUEUE) onto `options` — how bench binaries plumb them in;
-/// the library itself never reads the environment.
+/// BQO_ADMISSION_QUEUE, BQO_PLAN_CACHE_CAP, BQO_SEL_BAND,
+/// BQO_DRIFT_MARGIN, BQO_EWMA_ALPHA) onto `options` — how bench binaries
+/// plumb them in; the library itself never reads the environment.
 QueryServiceOptions ApplyServingEnvOverrides(QueryServiceOptions options);
 
 /// \brief One served query's outcome (the concurrent analogue of
@@ -114,6 +131,9 @@ struct QueryResult {
   int pruned_filters = 0;
   bool used_bitvectors = false;
   bool plan_cache_hit = false;
+  /// This query's plan was a shape hit with >= 1 constant slot re-bound
+  /// (false on an exact-constant hit, a miss, or a re-optimization).
+  bool plan_rebound = false;
 };
 
 class QueryService {

@@ -7,13 +7,17 @@ namespace bqo {
 
 void AttachStatistics(JoinGraph* graph) {
   for (int r = 0; r < graph->num_relations(); ++r) {
-    RelationRef& rel = graph->relation(r);
-    BQO_CHECK_MSG(rel.table != nullptr,
-                  "AttachStatistics requires bound tables");
-    rel.base_rows = static_cast<double>(rel.table->num_rows());
-    rel.filtered_rows =
-        static_cast<double>(EvaluatePredicate(*rel.table, rel.predicate).size());
+    AttachRelationStatistics(graph, r);
   }
+}
+
+void AttachRelationStatistics(JoinGraph* graph, int rel) {
+  RelationRef& ref = graph->relation(rel);
+  BQO_CHECK_MSG(ref.table != nullptr,
+                "AttachStatistics requires bound tables");
+  ref.base_rows = static_cast<double>(ref.table->num_rows());
+  ref.filtered_rows = static_cast<double>(
+      EvaluatePredicate(*ref.table, ref.predicate).size());
 }
 
 double EstimatedCoutModel::BaseDistinct(const Plan& plan,

@@ -27,6 +27,11 @@ namespace bqo {
 /// cardinalities; see the module comment in table_stats.h).
 void AttachStatistics(JoinGraph* graph);
 
+/// \brief AttachStatistics for a single relation — what a plan-shape cache
+/// hit re-estimates: only the relations whose constant slots moved, instead
+/// of re-evaluating every predicate of the query (src/server/plan_cache.h).
+void AttachRelationStatistics(JoinGraph* graph, int rel);
+
 class EstimatedCoutModel : public CoutModel {
  public:
   /// \param stats     statistics provider (not owned)

@@ -8,7 +8,8 @@
 namespace bqo {
 
 Result<JoinGraph> BuildJoinGraph(const Catalog& catalog,
-                                 const QuerySpec& spec) {
+                                 const QuerySpec& spec,
+                                 bool attach_statistics) {
   JoinGraph graph;
   for (const QueryRelation& qr : spec.relations) {
     auto table = catalog.GetTable(qr.table);
@@ -44,7 +45,7 @@ Result<JoinGraph> BuildJoinGraph(const Catalog& catalog,
   for (auto& [_, e] : merged) graph.AddEdge(std::move(e));
 
   graph.DeriveUniqueness(catalog);
-  AttachStatistics(&graph);
+  if (attach_statistics) AttachStatistics(&graph);
   return graph;
 }
 

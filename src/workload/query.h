@@ -39,7 +39,13 @@ struct QuerySpec {
 
 /// \brief Lower `spec` to a JoinGraph bound against `catalog`; derives edge
 /// uniqueness from declared keys and computes exact filtered cardinalities.
+/// `attach_statistics = false` skips the cardinality pass (predicate
+/// evaluation over every base table) — the serving layer binds graphs
+/// without it, because a plan-shape cache hit re-estimates only the
+/// relations whose constants moved (src/server/plan_cache.h) and a miss
+/// attaches the full statistics before optimizing.
 Result<JoinGraph> BuildJoinGraph(const Catalog& catalog,
-                                 const QuerySpec& spec);
+                                 const QuerySpec& spec,
+                                 bool attach_statistics = true);
 
 }  // namespace bqo

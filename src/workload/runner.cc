@@ -98,6 +98,10 @@ std::vector<QueryRun> RunWorkloadConcurrent(const Workload& workload,
         } else if (r.optimize_ns > 0) {
           run.optimize_ns = r.optimize_ns;
         }
+        // Any repeat that executed a re-bound instance marks the run: a
+        // rebound plan may differ from the per-query optimum, so parity
+        // checks compare costs only for non-rebound runs.
+        run.plan_rebound = run.plan_rebound || r.plan_rebound;
       }
       run.query_name = spec.name;
       run.mode = mode;

@@ -32,6 +32,10 @@ struct QueryRun {
   bool used_bitvectors = false;
   /// Concurrent driver only: this query's plan came from the PlanCache.
   bool plan_cache_hit = false;
+  /// Concurrent driver only: the hit re-bound moved constant slots into
+  /// the cached shape (the plan may differ from a per-query optimize —
+  /// results never do).
+  bool plan_rebound = false;
 };
 
 struct RunOptions {

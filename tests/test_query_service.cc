@@ -389,13 +389,23 @@ TEST(QueryService, PlanCacheLruEvictionAndCounters) {
   auto db = MakeStarDb(2, 8000, 200, {0.4, 0.5}, 77, /*zipf=*/0.5);
   QueryServiceOptions options;
   options.plan_cache_capacity = 2;
+  // This test pins LRU bookkeeping; disable drift feedback so an entry
+  // whose observed lambda strays from its estimate (zipf data) cannot go
+  // stale and turn the final hit into a re-optimization.
+  options.lambda_drift_margin = 0;
   QueryService service(&db->catalog, options);
-  // Three distinct signatures: different dimension predicates.
+  // Three distinct *shapes*: the cache keys on predicate structure, so the
+  // specs must differ structurally, not just in literals (those would all
+  // land in one entry as re-binds).
   std::vector<QuerySpec> specs;
-  for (int64_t bound : {200, 400, 600}) {
+  std::vector<ExprPtr> predicates;
+  predicates.push_back(Lt("attr0", 400));
+  predicates.push_back(Between("attr0", 100, 500));
+  predicates.push_back(In("attr0", {1, 2, 3, 4, 5}));
+  for (size_t i = 0; i < predicates.size(); ++i) {
     QuerySpec spec = db->spec;
-    spec.name = "q" + std::to_string(bound);
-    spec.relations[1].predicate = Lt("attr0", bound);
+    spec.name = "q" + std::to_string(i);
+    spec.relations[1].predicate = predicates[i];
     specs.push_back(spec);
   }
 
@@ -435,7 +445,7 @@ TEST(QueryService, PlanCacheInvalidatesOnCatalogChange) {
   EXPECT_EQ(service.cache_stats().invalidations, 2);
 }
 
-TEST(PlanCache, SignatureCanonicalization) {
+TEST(PlanCache, ShapeSignatureCanonicalization) {
   auto db = MakeStarDb(2, 5000, 100, {0.4, 0.5}, 21);
   OptimizerOptions opt;
 
@@ -443,16 +453,18 @@ TEST(PlanCache, SignatureCanonicalization) {
   auto graph2 = db->Graph();
   ASSERT_TRUE(graph1.ok() && graph2.ok());
   // Same query, rebuilt: identical signature.
-  EXPECT_EQ(PlanCache::Signature(graph1.value(), opt),
-            PlanCache::Signature(graph2.value(), opt));
+  EXPECT_EQ(PlanCache::ShapeSignature(graph1.value(), opt),
+            PlanCache::ShapeSignature(graph2.value(), opt));
 
-  // Different predicate constant: different signature.
+  // Different predicate constant: SAME signature — the cache keys on
+  // shape, and literals are slots (the constant table differs instead;
+  // tests/test_plan_shape_cache.cc pins the re-bind protocol).
   QuerySpec changed = db->spec;
   changed.relations[1].predicate = Lt("attr0", 123);
   auto graph3 = BuildJoinGraph(db->catalog, changed);
   ASSERT_TRUE(graph3.ok());
-  EXPECT_NE(PlanCache::Signature(graph1.value(), opt),
-            PlanCache::Signature(graph3.value(), opt));
+  EXPECT_EQ(PlanCache::ShapeSignature(graph1.value(), opt),
+            PlanCache::ShapeSignature(graph3.value(), opt));
 
   // Fewer relations/joins: different signature.
   QuerySpec narrower = db->spec;
@@ -460,14 +472,14 @@ TEST(PlanCache, SignatureCanonicalization) {
   narrower.joins.pop_back();
   auto graph4 = BuildJoinGraph(db->catalog, narrower);
   ASSERT_TRUE(graph4.ok());
-  EXPECT_NE(PlanCache::Signature(graph1.value(), opt),
-            PlanCache::Signature(graph4.value(), opt));
+  EXPECT_NE(PlanCache::ShapeSignature(graph1.value(), opt),
+            PlanCache::ShapeSignature(graph4.value(), opt));
 
   // Different optimizer knobs: different signature (they change the plan).
   OptimizerOptions other = opt;
   other.lambda_thresh = 0.5;
-  EXPECT_NE(PlanCache::Signature(graph1.value(), opt),
-            PlanCache::Signature(graph1.value(), other));
+  EXPECT_NE(PlanCache::ShapeSignature(graph1.value(), opt),
+            PlanCache::ShapeSignature(graph1.value(), other));
 }
 
 // ---- QueryService: admission control ----
@@ -528,10 +540,15 @@ TEST(RunWorkloadConcurrent, MatchesSequentialRunner) {
               sequential[i].metrics.result_rows) << i;
     EXPECT_EQ(concurrent[i].metrics.result_checksum,
               sequential[i].metrics.result_checksum) << i;
-    EXPECT_EQ(concurrent[i].used_bitvectors, sequential[i].used_bitvectors)
-        << i;
-    EXPECT_EQ(concurrent[i].estimated_cost, sequential[i].estimated_cost)
-        << i;
+    // A repeat served as a re-bound shape hit may carry a plan (and cost)
+    // from the template's first literals; answers above are still exact,
+    // but plan-identity fields are only pinned for non-rebound runs.
+    if (!concurrent[i].plan_rebound) {
+      EXPECT_EQ(concurrent[i].used_bitvectors, sequential[i].used_bitvectors)
+          << i;
+      EXPECT_EQ(concurrent[i].estimated_cost, sequential[i].estimated_cost)
+          << i;
+    }
   }
 }
 
