@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "src/common/fault_injector.h"
+#include "src/common/simd.h"
 #include "src/plan/predicate_shape.h"
 #include "src/server/query_service.h"
 #include "src/server/worker_pool.h"
@@ -184,7 +185,8 @@ void RunTemplatedPhase(const Workload& workload, size_t limit, int rounds,
       "\"queries\":%zu,\"wall_ms\":%.2f,\"qps\":%.1f,"
       "\"plan_cache_hit_rate\":%.3f,\"shape_hit_rate\":%.3f,"
       "\"shape_hits\":%lld,\"rebinds\":%lld,\"reoptimizations\":%lld,"
-      "\"drift_invalidations\":%lld,\"valid\":%s}\n",
+      "\"drift_invalidations\":%lld,\"simd_tier\":\"%s\","
+      "\"valid\":%s}\n",
       workload.name.c_str(), clients, pool_threads, hw_threads, total,
       static_cast<double>(wall_ns) / 1e6,
       static_cast<double>(total) / (static_cast<double>(wall_ns) / 1e9),
@@ -193,7 +195,7 @@ void RunTemplatedPhase(const Workload& workload, size_t limit, int rounds,
       static_cast<long long>(cache.rebinds),
       static_cast<long long>(cache.reoptimizations),
       static_cast<long long>(cache.drift_invalidations),
-      clients <= hw_threads ? "true" : "false");
+      SimdTierName(ActiveSimdTier()), clients <= hw_threads ? "true" : "false");
 }
 
 // ---- Overload phase: mixed request classes under a bounded service ----
@@ -326,7 +328,7 @@ void RunOverloadPhase(const Workload& workload, size_t limit, int rounds,
       "\"deadline_p50_ms\":%.2f,\"deadline_p99_ms\":%.2f,"
       "\"served\":%lld,\"shed\":%lld,\"timed_out\":%lld,"
       "\"cancelled\":%lld,\"failed\":%lld,\"faults_injected\":%lld,"
-      "\"valid\":%s}\n",
+      "\"simd_tier\":\"%s\",\"valid\":%s}\n",
       workload.name.c_str(), clients, service.max_concurrent(),
       options.admission_queue_limit,
       static_cast<long long>(options.admission_timeout_ms),
@@ -342,6 +344,7 @@ void RunOverloadPhase(const Workload& workload, size_t limit, int rounds,
       static_cast<long long>(stats.cancelled),
       static_cast<long long>(stats.failed),
       static_cast<long long>(FaultInjector::Global().injected()),
+      SimdTierName(ActiveSimdTier()),
       clients <= hw_threads ? "true" : "false");
 
   // Accounting invariant: every request landed in exactly one bucket
@@ -419,7 +422,7 @@ int main() {
         "\"qps\":%.1f,\"plan_cache_hit_rate\":%.3f,\"shape_hit_rate\":%.3f,"
         "\"shape_hits\":%lld,\"rebinds\":%lld,\"reoptimizations\":%lld,"
         "\"drift_invalidations\":%lld,\"speedup_vs_1\":%.2f,"
-        "\"valid\":%s}\n",
+        "\"simd_tier\":\"%s\",\"valid\":%s}\n",
         workload.name.c_str(), clients, pool_threads,
         service.workers_per_query(), hw_threads,
         static_cast<long long>(r.queries), wall_ms, qps, cache.HitRate(),
@@ -427,7 +430,8 @@ int main() {
         static_cast<long long>(cache.rebinds),
         static_cast<long long>(cache.reoptimizations),
         static_cast<long long>(cache.drift_invalidations),
-        qps / base_qps, clients <= hw_threads ? "true" : "false");
+        qps / base_qps, SimdTierName(ActiveSimdTier()),
+        clients <= hw_threads ? "true" : "false");
   }
 
   // Templated-literal phase: same shapes, jittered constants — the

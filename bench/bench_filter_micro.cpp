@@ -20,6 +20,7 @@
 
 #include "src/common/hash.h"
 #include "src/common/rng.h"
+#include "src/common/simd.h"
 #include "src/exec/batch.h"
 #include "src/filter/bitvector_filter.h"
 
@@ -49,7 +50,7 @@ void BM_FilterInsert(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_FilterInsert)
-    ->ArgsProduct({{0, 1, 2}, {1 << 10, 1 << 16, 1 << 20}})
+    ->ArgsProduct({{0, 1, 2, 3}, {1 << 10, 1 << 16, 1 << 20}})
     ->ArgNames({"kind", "n"});
 
 void BM_FilterProbeHit(benchmark::State& state) {
@@ -68,7 +69,7 @@ void BM_FilterProbeHit(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FilterProbeHit)
-    ->ArgsProduct({{0, 1, 2}, {1 << 16, 1 << 20}})
+    ->ArgsProduct({{0, 1, 2, 3}, {1 << 16, 1 << 20}})
     ->ArgNames({"kind", "n"});
 
 void BM_FilterProbeMiss(benchmark::State& state) {
@@ -88,7 +89,7 @@ void BM_FilterProbeMiss(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FilterProbeMiss)
-    ->ArgsProduct({{0, 1, 2}, {1 << 16, 1 << 20}})
+    ->ArgsProduct({{0, 1, 2, 3}, {1 << 16, 1 << 20}})
     ->ArgNames({"kind", "n"});
 
 /// Batched probe over kBatchSize-strides with an identity selection vector:
@@ -117,7 +118,7 @@ void BM_FilterProbeBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kBatchSize);
 }
 BENCHMARK(BM_FilterProbeBatch)
-    ->ArgsProduct({{0, 1, 2}, {1 << 16, 1 << 20}, {0, 1}})
+    ->ArgsProduct({{0, 1, 2, 3}, {1 << 16, 1 << 20}, {0, 1}})
     ->ArgNames({"kind", "n", "hits"});
 
 void BM_CompositeHash(benchmark::State& state) {
@@ -195,11 +196,19 @@ void EmitScalarVsBatchedJson() {
     const auto hit_probes = MakeKeys(kProbes, 1);  // prefix of `keys`
     const auto miss_probes = MakeKeys(kProbes, 2);
     for (FilterKind kind :
-         {FilterKind::kExact, FilterKind::kBloom, FilterKind::kCuckoo}) {
+         {FilterKind::kExact, FilterKind::kBloom, FilterKind::kCuckoo,
+          FilterKind::kBlockedBloom}) {
       FilterConfig config;
       config.kind = kind;
       auto filter = CreateFilter(config, build_keys);
       for (uint64_t k : keys) filter->Insert(k);
+      // Measured FPR on the disjoint miss stream: every pass is a false
+      // positive (the empirical point the optimizer's per-kind FPR curves
+      // are checked against).
+      int64_t false_pos = 0;
+      for (uint64_t h : miss_probes) false_pos += filter->MayContain(h) ? 1 : 0;
+      const double measured_fpr =
+          static_cast<double>(false_pos) / static_cast<double>(kProbes);
       for (const bool hit : {true, false}) {
         const auto& probes = hit ? hit_probes : miss_probes;
         double scalar_ns = 1e30, batched_ns = 1e30;
@@ -213,11 +222,12 @@ void EmitScalarVsBatchedJson() {
             "{\"bench\":\"filter_probe_1M\",\"kind\":\"%s\",\"mode\":\"%s\","
             "\"build_keys\":%lld,\"filter_mb\":%.1f,"
             "\"scalar_ns_per_probe\":%.3f,\"batched_ns_per_probe\":%.3f,"
-            "\"speedup\":%.2f}\n",
+            "\"speedup\":%.2f,\"measured_fpr\":%.6f,\"simd_tier\":\"%s\"}\n",
             FilterKindName(kind), hit ? "hit" : "miss",
             static_cast<long long>(build_keys),
             static_cast<double>(filter->SizeBytes()) / (1024.0 * 1024.0),
-            scalar_ns, batched_ns, scalar_ns / batched_ns);
+            scalar_ns, batched_ns, scalar_ns / batched_ns, measured_fpr,
+            SimdTierName(ActiveSimdTier()));
       }
     }
   }

@@ -18,6 +18,7 @@
 
 #include "src/common/hash.h"
 #include "src/common/rng.h"
+#include "src/common/simd.h"
 #include "src/exec/exchange.h"
 #include "src/exec/scan.h"
 #include "src/workload/datagen.h"
@@ -140,7 +141,8 @@ int main() {
 
   constexpr int kReps = 3;  // min-of-k, warm cache
   for (FilterKind kind :
-       {FilterKind::kBloom, FilterKind::kExact, FilterKind::kCuckoo}) {
+       {FilterKind::kBloom, FilterKind::kBlockedBloom, FilterKind::kExact,
+        FilterKind::kCuckoo}) {
     DrainResult base;
     double base_ns = 0;
     for (int threads = 1; threads <= max_threads; threads *= 2) {
@@ -170,7 +172,7 @@ int main() {
           "{\"bench\":\"parallel_scan\",\"kind\":\"%s\",\"threads\":%d,"
           "\"hardware_concurrency\":%d,\"rows\":%lld,\"rows_out\":%lld,"
           "\"wall_ms\":%.2f,\"mrows_per_s\":%.1f,\"speedup_vs_1\":%.2f,"
-          "\"valid\":%s}\n",
+          "\"simd_tier\":\"%s\",\"valid\":%s}\n",
           FilterKindName(kind), threads, hw.ResolvedThreads(),
           static_cast<long long>(rows),
           static_cast<long long>(best.rows_out),
@@ -178,6 +180,7 @@ int main() {
           static_cast<double>(rows) * 1e3 /
               static_cast<double>(best.wall_ns),
           base_ns / static_cast<double>(best.wall_ns),
+          SimdTierName(ActiveSimdTier()),
           threads <= hw.ResolvedThreads() ? "true" : "false");
     }
   }

@@ -24,6 +24,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "src/common/simd.h"
 #include "src/common/rng.h"
 #include "src/common/string_util.h"
 #include "src/exec/executor.h"
@@ -151,7 +152,8 @@ int main() {
 
   constexpr int kReps = 3;  // min-of-k, warm cache
   for (FilterKind kind :
-       {FilterKind::kBloom, FilterKind::kExact, FilterKind::kCuckoo}) {
+       {FilterKind::kBloom, FilterKind::kBlockedBloom, FilterKind::kExact,
+        FilterKind::kCuckoo}) {
     for (const bool grouped : {false, true}) {
       RunResult base;
       double base_ns = 0;
@@ -180,12 +182,13 @@ int main() {
             "{\"bench\":\"pipeline_parallel\",\"kind\":\"%s\",\"agg\":\"%s\","
             "\"threads\":%d,\"hardware_concurrency\":%d,\"fact_rows\":%lld,"
             "\"result_rows\":%lld,\"wall_ms\":%.2f,\"speedup_vs_1\":%.2f,"
-            "\"valid\":%s}\n",
+            "\"simd_tier\":\"%s\",\"valid\":%s}\n",
             FilterKindName(kind), grouped ? "sum_group" : "sum", threads,
             hw.ResolvedThreads(), static_cast<long long>(fact_rows),
             static_cast<long long>(best.result_rows),
             static_cast<double>(best.wall_ns) / 1e6,
             base_ns / static_cast<double>(best.wall_ns),
+            SimdTierName(ActiveSimdTier()),
             threads <= hw.ResolvedThreads() ? "true" : "false");
       }
     }

@@ -10,7 +10,7 @@
 #include <cmath>
 
 #include "bench_util.h"
-#include "src/exec/exact_cout.h"
+#include "src/exec/exact_cost.h"
 #include "src/plan/enumerate.h"
 #include "src/plan/pushdown.h"
 #include "tests/test_util.h"

@@ -10,7 +10,7 @@
 //    minimal exact Cout (the theorems' claim), for sizes where exhaustive
 //    search is affordable.
 #include "bench_util.h"
-#include "src/exec/exact_cout.h"
+#include "src/exec/exact_cost.h"
 #include "src/plan/enumerate.h"
 #include "src/plan/pushdown.h"
 #include "tests/test_util.h"

@@ -15,7 +15,7 @@
 // stuck with P1 and leaves that factor on the table (the paper measures 3x).
 #include <cstdio>
 
-#include "src/exec/exact_cout.h"
+#include "src/exec/exact_cost.h"
 #include "src/exec/executor.h"
 #include "src/plan/pushdown.h"
 #include "src/workload/datagen.h"

@@ -6,7 +6,7 @@
 // true costs of the baseline post-processing optimizer vs BQO.
 #include <cstdio>
 
-#include "src/exec/exact_cout.h"
+#include "src/exec/exact_cost.h"
 #include "src/exec/executor.h"
 #include "src/optimizer/optimizer.h"
 #include "src/optimizer/snowflake.h"

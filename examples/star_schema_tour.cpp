@@ -9,7 +9,7 @@
 #include <cstdio>
 #include <map>
 
-#include "src/exec/exact_cout.h"
+#include "src/exec/exact_cost.h"
 #include "src/optimizer/optimizer.h"
 #include "src/plan/enumerate.h"
 #include "src/plan/pushdown.h"

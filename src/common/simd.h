@@ -1,0 +1,88 @@
+// Runtime SIMD kernel-tier selection.
+//
+// The engine ships two implementations of its per-tuple kernels (batched key
+// hashing and blocked-Bloom block probes, src/filter/filter_kernels.h): a
+// portable scalar tier and an AVX2 tier. The tier is picked ONCE, at first
+// use, from CPUID (__builtin_cpu_supports("avx2")) with an environment
+// override — and is process-global, because the two tiers are bit-identical
+// by contract (they compute the same function, only with different
+// instructions), so nothing downstream may depend on which one ran. That
+// contract is what keeps result checksums and merged FilterStats invariant
+// across tiers; tests/test_simd_kernels.cc pins it.
+//
+// Env override: BQO_SIMD=scalar forces the portable tier (CI runs the full
+// suite this way); BQO_SIMD=avx2 requests AVX2 and falls back to scalar when
+// the CPU lacks it (we never emit an illegal instruction). Like
+// WorkerPool::Global, this is a process-level knob read from the environment
+// at first use — the one sanctioned exception to "the library never reads
+// env", since dispatch must be settled before any hot loop runs.
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace bqo {
+
+enum class SimdTier : int { kScalar = 0, kAvx2 = 1 };
+
+inline const char* SimdTierName(SimdTier tier) {
+  return tier == SimdTier::kAvx2 ? "avx2" : "scalar";
+}
+
+namespace internal {
+
+/// Tier storage: -1 = not yet detected. Atomic so the benign first-use race
+/// (two threads detecting concurrently) settles on the same value without a
+/// data race; after that it's a relaxed load per batched kernel call.
+inline std::atomic<int>& SimdTierCell() {
+  static std::atomic<int> cell{-1};
+  return cell;
+}
+
+/// CPUID + BQO_SIMD resolution; defined in filter_kernels.cc so the
+/// cpu-support intrinsics live next to the kernels they gate.
+SimdTier DetectSimdTier();
+
+}  // namespace internal
+
+/// \brief The tier every dispatched kernel runs with. First call detects
+/// (CPUID, then the BQO_SIMD override); later calls are one relaxed load.
+inline SimdTier ActiveSimdTier() {
+  int t = internal::SimdTierCell().load(std::memory_order_relaxed);
+  if (t < 0) {
+    t = static_cast<int>(internal::DetectSimdTier());
+    internal::SimdTierCell().store(t, std::memory_order_relaxed);
+  }
+  return static_cast<SimdTier>(t);
+}
+
+/// \brief True iff this build + CPU can execute the AVX2 tier (regardless of
+/// what BQO_SIMD selected). Tests use it to skip AVX2 parity legs on
+/// machines that can't run them.
+bool CpuSupportsAvx2();
+
+/// \brief RAII tier override for tests: forces `tier` for its lifetime and
+/// restores the previous selection after. Forcing kAvx2 on a CPU without
+/// AVX2 is clamped to scalar (same rule as the env override). Not for
+/// production code — the tier is meant to be settled once per process.
+class ScopedSimdTier {
+ public:
+  explicit ScopedSimdTier(SimdTier tier) {
+    previous_ = internal::SimdTierCell().exchange(
+        static_cast<int>(tier == SimdTier::kAvx2 && !CpuSupportsAvx2()
+                             ? SimdTier::kScalar
+                             : tier),
+        std::memory_order_relaxed);
+  }
+  ~ScopedSimdTier() {
+    internal::SimdTierCell().store(previous_, std::memory_order_relaxed);
+  }
+  ScopedSimdTier(const ScopedSimdTier&) = delete;
+  ScopedSimdTier& operator=(const ScopedSimdTier&) = delete;
+
+ private:
+  int previous_;
+};
+
+}  // namespace bqo

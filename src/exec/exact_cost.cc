@@ -1,4 +1,4 @@
-#include "src/exec/exact_cout.h"
+#include "src/exec/exact_cost.h"
 
 #include "src/exec/executor.h"
 

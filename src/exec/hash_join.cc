@@ -6,6 +6,7 @@
 #include "src/common/hash.h"
 #include "src/exec/pipeline.h"
 #include "src/filter/bloom_filter.h"
+#include "src/filter/filter_kernels.h"
 
 namespace bqo {
 
@@ -89,9 +90,9 @@ void HashJoinOperator::HashBuildRows(std::vector<uint64_t>* hashes) const {
     }
     uint64_t* out = hashes->data() + base;
     if (nkeys == 1) {
-      HashColumn(cols[0], n, out);
+      HashColumnKernel(cols[0], n, out);
     } else {
-      HashCompositeBatch(cols, nkeys, n, out);
+      HashCompositeBatchKernel(cols, nkeys, n, out);
     }
   }
 }
@@ -174,9 +175,9 @@ void HashJoinOperator::HashProbeBatch(ProbeState* ps) const {
   }
   uint64_t* hashes = ps->hashes.data();
   if (nkeys == 1) {
-    HashColumn(key_cols[0], n, hashes);
+    HashColumnKernel(key_cols[0], n, hashes);
   } else {
-    HashCompositeBatch(key_cols, nkeys, n, hashes);
+    HashCompositeBatchKernel(key_cols, nkeys, n, hashes);
   }
   // Prefetch the bucket heads: the stride's lookups are independent, so the
   // misses overlap here instead of serializing one per probe row.
@@ -242,9 +243,9 @@ int HashJoinOperator::WinnowResiduals(ProbeState* ps, int ncand) {
           cols[k] = dst;
         }
         if (nkeys == 1) {
-          HashColumn(cols[0], ncand, rhashes);
+          HashColumnKernel(cols[0], ncand, rhashes);
         } else {
-          HashCompositeBatch(cols, nkeys, ncand, rhashes);
+          HashCompositeBatchKernel(cols, nkeys, ncand, rhashes);
         }
       } else {
         for (int j = 0; j < m; ++j) {

@@ -222,13 +222,17 @@ void FillFilterParallel(BitvectorFilter* filter, const FilterConfig& config,
       const int64_t begin = static_cast<int64_t>(w) * chunk;
       const int64_t end = std::min(n, begin + chunk);
       if (begin >= end) return;
-      // Bloom partials share the final filter's geometry (sized for the
-      // whole build) so blocks OR together; Exact partials only need their
-      // own partition's capacity.
-      auto partial = CreateFilter(
-          config, config.kind == FilterKind::kBloom ? n : end - begin);
+      // Bloom partials (classical and blocked) share the final filter's
+      // geometry (sized for the whole build) so blocks OR together; Exact
+      // partials only need their own partition's capacity.
+      const bool bloom_like = config.kind == FilterKind::kBloom ||
+                              config.kind == FilterKind::kBlockedBloom;
+      auto partial = CreateFilter(config, bloom_like ? n : end - begin);
       if (config.kind == FilterKind::kBloom) {
         static_cast<BloomFilter*>(partial.get())->EnableInsertTracking();
+      } else if (config.kind == FilterKind::kBlockedBloom) {
+        static_cast<BlockedBloomFilter*>(partial.get())
+            ->EnableInsertTracking();
       }
       FillRange(partial.get(), hashes, begin, end, ctx);
       partials[static_cast<size_t>(w)] = std::move(partial);

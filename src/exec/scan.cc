@@ -4,6 +4,7 @@
 
 #include "src/common/hash.h"
 #include "src/filter/bloom_filter.h"
+#include "src/filter/filter_kernels.h"
 
 namespace bqo {
 
@@ -91,7 +92,7 @@ void ScanOperator::ProcessStride(const uint32_t* rows, int n, uint16_t* sel,
         for (int i = 0; i < n; ++i) {
           keys[i] = key_col[rows[i]];
         }
-        HashColumn(keys, n, hashes);
+        HashColumnKernel(keys, n, hashes);
       } else {
         for (int j = 0; j < m; ++j) {
           const uint16_t pos = sel[j];
@@ -106,7 +107,7 @@ void ScanOperator::ProcessStride(const uint32_t* rows, int n, uint16_t* sel,
         for (int i = 0; i < n; ++i) dst[i] = src[rows[i]];
         gathered[k] = dst;
       }
-      HashCompositeBatch(gathered, af.num_keys, n, hashes);
+      HashCompositeBatchKernel(gathered, af.num_keys, n, hashes);
     } else {
       for (int j = 0; j < m; ++j) {
         const uint16_t pos = sel[j];

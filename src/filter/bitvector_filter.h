@@ -6,14 +6,21 @@
 // produced by HashComposite(), so multi-column join keys (e.g. the filter
 // built from A ⋈ C in the paper's Figure 1) are handled uniformly.
 //
-// Three implementations:
-//  * ExactFilter  — a hash set; zero false positives. Realizes the paper's
-//                   "no false positives" assumption used in Theorems 4.1/5.1,
-//                   and is what the theorem-validation tests run with.
-//  * BloomFilter  — blocked Bloom filter (one cache line per key); the
-//                   production default, mirroring [7, 24].
-//  * CuckooFilter — 4-way bucketized fingerprint filter [15]; supports a
-//                   space/accuracy trade-off ablation.
+// Four implementations:
+//  * ExactFilter       — a hash set; zero false positives. Realizes the
+//                        paper's "no false positives" assumption used in
+//                        Theorems 4.1/5.1, and is what the
+//                        theorem-validation tests run with.
+//  * BloomFilter       — classical cache-line-blocked Bloom filter with
+//                        serial double-hashed probes; the production
+//                        default and parity oracle, mirroring [7, 24].
+//  * BlockedBloomFilter — register-blocked Bloom (one 256-bit sector per
+//                        key, all k bits tested in one AVX2 mask op; see
+//                        blocked_bloom_filter.h). Cheaper per probe, higher
+//                        FPR at equal bits — the optimizer's filter menu
+//                        trades the two per the paper's cost model.
+//  * CuckooFilter      — 4-way bucketized fingerprint filter [15]; supports
+//                        a space/accuracy trade-off ablation.
 #pragma once
 
 #include <cstdint>
@@ -21,7 +28,12 @@
 
 namespace bqo {
 
-enum class FilterKind : uint8_t { kExact = 0, kBloom = 1, kCuckoo = 2 };
+enum class FilterKind : uint8_t {
+  kExact = 0,
+  kBloom = 1,
+  kCuckoo = 2,
+  kBlockedBloom = 3,
+};
 
 const char* FilterKindName(FilterKind kind);
 
@@ -99,10 +111,17 @@ class BitvectorFilter {
 
 struct FilterConfig {
   FilterKind kind = FilterKind::kBloom;
-  /// Bloom: bits per inserted key (8 => ~2% FP, 10 => ~1% FP).
+  /// Bloom (classical and blocked): bits per inserted key
+  /// (8 => ~2% FP, 10 => ~1% FP for the classical kind; the blocked kind
+  /// runs higher at equal bits — see BlockedBloomFilter::TheoreticalFpRate).
   double bloom_bits_per_key = 10.0;
   /// Cuckoo: fingerprint bits (12 => ~0.1% FP at 95% load).
   int cuckoo_fingerprint_bits = 12;
+  /// When true, the executor honors the per-filter kind the optimizer's
+  /// filter menu picked (PlanFilter::chosen_kind) instead of applying
+  /// `kind` uniformly. Off by default: plan-kind selection is an opt-in so
+  /// existing pinned FilterStats stay byte-identical.
+  bool use_plan_kinds = false;
 };
 
 /// \brief Create a filter sized for ~`expected_keys` insertions.

@@ -1,0 +1,112 @@
+#include "src/filter/blocked_bloom_filter.h"
+
+#include <cmath>
+
+#include "src/common/bit_util.h"
+#include "src/common/macros.h"
+
+namespace bqo {
+
+BlockedBloomFilter::BlockedBloomFilter(int64_t expected_keys,
+                                       double bits_per_key)
+    : BitvectorFilter(FilterKind::kBlockedBloom) {
+  BQO_CHECK(bits_per_key >= 1.0);
+  // Same space rule as the classical filter: bits_per_key * n total bits,
+  // rounded up to a power-of-two count of 512-bit (64-byte) blocks.
+  const double total_bits =
+      static_cast<double>(expected_keys < 16 ? 16 : expected_keys) *
+      bits_per_key;
+  const uint64_t num_blocks =
+      NextPow2(static_cast<uint64_t>(std::ceil(total_bits / 512.0)));
+  blocks_.assign(num_blocks, blocked_bloom::BloomBlock{});
+  block_mask_ = num_blocks - 1;
+}
+
+void BlockedBloomFilter::Insert(uint64_t hash) {
+  const uint8_t new_probes =
+      BlockedBloomInsert(blocks_.data(), block_mask_, hash);
+  // Same counting rule as BloomFilter: only inserts that set a new bit add
+  // to the logical key count (duplicates and already-unrejectable keys
+  // don't), so NumInserted approximates distinct n across kinds.
+  if (new_probes != 0) {
+    ++num_inserted_;
+    if (tracking_) journal_.push_back(TrackedInsert{hash, new_probes});
+  }
+}
+
+bool BlockedBloomFilter::MayContain(uint64_t hash) const {
+  return blocked_bloom::ScalarProbeBlock(
+      blocks_[blocked_bloom::BlockIndex(hash, block_mask_)], hash);
+}
+
+int BlockedBloomFilter::MayContainBatch(const uint64_t* hashes, uint16_t* sel,
+                                        int num_sel) const {
+  return BlockedBloomProbeBatch(blocks_.data(), block_mask_, hashes, sel,
+                                num_sel);
+}
+
+bool BlockedBloomFilter::ProbeBitsSet(uint64_t hash,
+                                      uint8_t probe_mask) const {
+  const blocked_bloom::BloomBlock& block =
+      blocks_[blocked_bloom::BlockIndex(hash, block_mask_)];
+  const int base = blocked_bloom::SectorBase(hash);
+  for (int w = 0; w < blocked_bloom::kWordsPerSector; ++w) {
+    if ((probe_mask & (1u << w)) != 0 &&
+        (block.words[base + w] & blocked_bloom::WordMask(hash, w)) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void BlockedBloomFilter::MergeFrom(const BitvectorFilter& other) {
+  BQO_CHECK(other.kind() == FilterKind::kBlockedBloom);
+  const auto& src = static_cast<const BlockedBloomFilter&>(other);
+  BQO_CHECK_EQ(blocks_.size(), src.blocks_.size());
+  // Count before ORing: `this` still holds the prefix partitions' bits, so
+  // a journaled insert counts iff a bit it newly set in its own partition
+  // is still unset here (the sequential rule across the partition
+  // boundary; see BloomFilter::MergeFrom).
+  if (src.tracking_) {
+    for (const TrackedInsert& t : src.journal_) {
+      if (!ProbeBitsSet(t.hash, t.new_probes)) ++num_inserted_;
+    }
+  } else {
+    num_inserted_ += src.num_inserted_;
+  }
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    for (int w = 0; w < 2 * blocked_bloom::kWordsPerSector; ++w) {
+      blocks_[b].words[w] |= src.blocks_[b].words[w];
+    }
+  }
+}
+
+double BlockedBloomFilter::TheoreticalFpRate() const {
+  // Poisson mixture over sector occupancy. A probe key picks one of the
+  // 2 * blocks 256-bit sectors; with j keys resident there, each of its 8
+  // word-bits is set with probability 1 - (31/32)^j (inserts pick one of 32
+  // bit positions per word), and a false positive needs all 8. Truncate the
+  // Poisson tail once the running mass covers ~all of it.
+  const double sectors = static_cast<double>(blocks_.size()) * 2.0;
+  const double n = static_cast<double>(num_inserted_ < 1 ? 1 : num_inserted_);
+  const double lambda = n / sectors;
+  double fpr = 0.0;
+  double pois = std::exp(-lambda);  // P(j = 0)
+  double mass = 0.0;
+  double per_word = 0.0;  // 1 - (31/32)^j, updated incrementally
+  for (int j = 0; j < 512 && mass < 1.0 - 1e-12; ++j) {
+    if (j > 0) {
+      pois *= lambda / static_cast<double>(j);
+      per_word = 1.0 - (1.0 - per_word) * (31.0 / 32.0);
+    }
+    double all_words = per_word;
+    for (int w = 1; w < blocked_bloom::kWordsPerSector; ++w) {
+      all_words *= per_word;
+    }
+    fpr += pois * all_words;
+    mass += pois;
+  }
+  return fpr;
+}
+
+}  // namespace bqo

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/filter/bitvector_filter.h"
+#include "src/filter/blocked_bloom_filter.h"
 
 namespace bqo {
 
@@ -83,16 +84,21 @@ class BloomFilter final : public BitvectorFilter {
   std::vector<TrackedInsert> journal_;  ///< counting inserts, when tracking_
 };
 
-/// \brief Devirtualized batch probe: Bloom is the production default and the
-/// per-tuple filter-check cost (Cf in Section 6.3) is the quantity Figure 7
-/// profiles, so the hot paths (scan strides and join residual strides) avoid
-/// the virtual dispatch for it (BloomFilter is `final`, so the static_cast
-/// call is direct).
+/// \brief Devirtualized batch probe: the Bloom kinds are the production
+/// defaults and the per-tuple filter-check cost (Cf in Section 6.3) is the
+/// quantity Figure 7 profiles, so the hot paths (scan strides and join
+/// residual strides) avoid the virtual dispatch for them (both classes are
+/// `final`, so the static_cast calls are direct; the blocked branch further
+/// lands in the tier-dispatched SIMD kernel, filter_kernels.h).
 inline int FilterMayContainBatch(const BitvectorFilter* filter,
                                  const uint64_t* hashes, uint16_t* sel,
                                  int num_sel) {
   if (filter->kind() == FilterKind::kBloom) {
     return static_cast<const BloomFilter*>(filter)->MayContainBatch(
+        hashes, sel, num_sel);
+  }
+  if (filter->kind() == FilterKind::kBlockedBloom) {
+    return static_cast<const BlockedBloomFilter*>(filter)->MayContainBatch(
         hashes, sel, num_sel);
   }
   return filter->MayContainBatch(hashes, sel, num_sel);

@@ -1,4 +1,5 @@
 #include "src/filter/bitvector_filter.h"
+#include "src/filter/blocked_bloom_filter.h"
 #include "src/filter/bloom_filter.h"
 #include "src/filter/cuckoo_filter.h"
 #include "src/filter/exact_filter.h"
@@ -13,6 +14,8 @@ const char* FilterKindName(FilterKind kind) {
       return "bloom";
     case FilterKind::kCuckoo:
       return "cuckoo";
+    case FilterKind::kBlockedBloom:
+      return "blocked";
   }
   return "unknown";
 }
@@ -28,6 +31,9 @@ std::unique_ptr<BitvectorFilter> CreateFilter(const FilterConfig& config,
     case FilterKind::kCuckoo:
       return std::make_unique<CuckooFilter>(expected_keys,
                                             config.cuckoo_fingerprint_bits);
+    case FilterKind::kBlockedBloom:
+      return std::make_unique<BlockedBloomFilter>(expected_keys,
+                                                  config.bloom_bits_per_key);
   }
   return nullptr;
 }

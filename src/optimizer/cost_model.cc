@@ -1,5 +1,11 @@
 #include "src/optimizer/cost_model.h"
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/filter/filter_kernels.h"
+
 namespace bqo {
 
 int PruneIneffectiveFilters(Plan* plan, CoutModel* model,
@@ -29,6 +35,111 @@ double LambdaThreshold(double filter_check_ns, double hash_probe_ns) {
   if (hash_probe_ns <= 0) return 1.0;
   const double t = 1.0 - filter_check_ns / hash_probe_ns;
   return t < 0 ? 0.0 : t;
+}
+
+double EstimatedFilterFpr(FilterKind kind, double bits_per_key) {
+  const double b = bits_per_key < 1.0 ? 1.0 : bits_per_key;
+  switch (kind) {
+    case FilterKind::kExact:
+      return 0.0;
+    case FilterKind::kBloom: {
+      // Mirror BloomFilter: k = round(0.6931 * b) clamped to [1, 4],
+      // FPR = (1 - e^{-kn/m})^k at design load n/m = 1/b.
+      const double k = std::clamp(std::lround(b * 0.6931), 1L, 4L);
+      return std::pow(1.0 - std::exp(-k / b), k);
+    }
+    case FilterKind::kCuckoo:
+      // 4-way buckets, two candidate buckets: ~ 8 / 2^fingerprint_bits at
+      // the default 12 fingerprint bits (not on the Bloom menu; listed for
+      // completeness).
+      return 8.0 / 4096.0;
+    case FilterKind::kBlockedBloom: {
+      // Mirror BlockedBloomFilter::TheoreticalFpRate at design load: keys
+      // land in 256-bit sectors (mean occupancy 256/b keys), j resident
+      // keys set a given word-bit with prob 1 - (31/32)^j, and a false
+      // positive needs all 8 word-bits — a Poisson mixture that sits above
+      // the classical curve at tight-to-moderate budgets (b <= ~10) and
+      // degrades hard as b shrinks. At generous budgets the ordering
+      // flips: classical's k is capped at 4, so blocked's fixed k=8
+      // eventually wins on FPR too.
+      const double lambda = 256.0 / b;
+      double fpr = 0.0;
+      double pois = std::exp(-lambda);
+      double mass = 0.0;
+      double per_word = 0.0;
+      for (int j = 0; j < 2048 && mass < 1.0 - 1e-12; ++j) {
+        if (j > 0) {
+          pois *= lambda / static_cast<double>(j);
+          per_word = 1.0 - (1.0 - per_word) * (31.0 / 32.0);
+        }
+        double all_words = per_word;
+        for (int w = 1; w < blocked_bloom::kWordsPerSector; ++w) {
+          all_words *= per_word;
+        }
+        fpr += pois * all_words;
+        mass += pois;
+      }
+      return fpr;
+    }
+  }
+  return 0.0;
+}
+
+int SelectFilterImplementations(Plan* plan, CoutModel* model,
+                                const FilterMenuOptions& menu) {
+  BQO_CHECK(plan != nullptr);
+  if (!menu.enabled || plan->filters.empty()) return 0;
+  const CoutBreakdown breakdown = model->Compute(*plan);
+
+  // Parent index, to count the join probes a leaked tuple survives: from
+  // the application site up to the creating join, where the hash-table
+  // probe finally rejects it.
+  std::vector<int> parent(plan->nodes.size(), -1);
+  for (const PlanNode* node : plan->nodes) {
+    if (node->IsLeaf()) continue;
+    parent[static_cast<size_t>(node->build->id)] = node->id;
+    parent[static_cast<size_t>(node->probe->id)] = node->id;
+  }
+
+  const double fpr_classical =
+      EstimatedFilterFpr(FilterKind::kBloom, menu.bits_per_key);
+  const double fpr_blocked =
+      EstimatedFilterFpr(FilterKind::kBlockedBloom, menu.bits_per_key);
+
+  int blocked_picks = 0;
+  for (PlanFilter& f : plan->filters) {
+    if (f.pruned) {
+      f.chosen_kind = -1;
+      continue;
+    }
+    const double probes =
+        breakdown.node_prefilter[static_cast<size_t>(f.applied_at)];
+    const double lambda = breakdown.filter_lambda[static_cast<size_t>(f.id)];
+    // Leak depth D: join operators between the application site (exclusive)
+    // and the creating join (inclusive). At least 1 — the source join's own
+    // probe is always paid.
+    int depth = 0;
+    for (int nid = parent[static_cast<size_t>(f.applied_at)]; nid >= 0;
+         nid = parent[static_cast<size_t>(nid)]) {
+      ++depth;
+      if (nid == f.source_join) break;
+    }
+    if (depth == 0) depth = 1;
+
+    const double leak_weight =
+        probes * lambda * static_cast<double>(depth) * menu.hash_probe_ns;
+    const double cost_classical =
+        probes * menu.classical_probe_ns + leak_weight * fpr_classical;
+    const double cost_blocked =
+        probes * menu.blocked_probe_ns + leak_weight * fpr_blocked;
+    if (cost_blocked < cost_classical) {
+      f.chosen_kind = static_cast<int>(FilterKind::kBlockedBloom);
+      ++blocked_picks;
+    } else {
+      f.chosen_kind = static_cast<int>(FilterKind::kBloom);
+    }
+  }
+  return blocked_picks;
 }
 
 }  // namespace bqo

@@ -8,7 +8,7 @@
 #include "src/optimizer/dp_optimizer.h"
 #include "src/plan/enumerate.h"
 #include "src/plan/pushdown.h"
-#include "src/stats/estimated_cout.h"
+#include "src/stats/estimated_cost.h"
 
 namespace bqo {
 
@@ -103,6 +103,10 @@ OptimizedQuery OptimizeQuery(const JoinGraph& graph, StatsCatalog* stats,
       result.pruned_filters = PruneIneffectiveFilters(
           &result.plan, &aware_model, options.lambda_thresh);
     }
+    // With the menu of survivors settled, pick each filter's
+    // implementation (annotation only; see FilterMenuOptions).
+    SelectFilterImplementations(&result.plan, &aware_model,
+                                options.filter_menu);
   }
   result.estimated_cost = aware_model.Cout(result.plan);
   result.optimize_ns =

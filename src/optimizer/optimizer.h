@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "src/optimizer/cost_model.h"
 #include "src/plan/cout.h"
 #include "src/stats/table_stats.h"
 
@@ -42,6 +43,11 @@ struct OptimizerOptions {
   int max_dp_relations = 14;
   /// Plan-count cap for kExhaustive.
   size_t exhaustive_limit = 50000;
+  /// Filter-implementation menu (cost_model.h): after pruning, every
+  /// surviving filter is annotated with the kind — classical or blocked
+  /// Bloom — whose probe-cost/FPR trade minimizes its cost
+  /// (PlanFilter::chosen_kind). Part of the plan's cache identity.
+  FilterMenuOptions filter_menu;
 
   // ---- Parameterized-plan validity band (src/optimizer/parameterized.h;
   // not part of the plan's cache identity — they bound reuse, they don't

@@ -5,7 +5,7 @@
 #include <utility>
 
 #include "src/common/string_util.h"
-#include "src/stats/estimated_cout.h"
+#include "src/stats/estimated_cost.h"
 
 namespace bqo {
 

@@ -5,7 +5,7 @@
 #include <utility>
 
 #include "src/common/string_util.h"
-#include "src/stats/estimated_cout.h"
+#include "src/stats/estimated_cost.h"
 
 namespace bqo {
 
@@ -25,10 +25,15 @@ std::string PlanCache::ShapeSignature(const JoinGraph& graph,
   // part of the identity of the cached artifact. The band/drift knobs are
   // deliberately absent: they bound reuse, not the plan itself.
   std::string sig = StringFormat(
-      "mode=%s;lambda=%.9g;fp=%.9g;dp=%d;exh=%zu",
+      "mode=%s;lambda=%.9g;fp=%.9g;dp=%d;exh=%zu;"
+      "menu=%d;mbits=%.9g;mcf=%.9g/%.9g;mcp=%.9g",
       OptimizerModeName(options.mode), options.lambda_thresh,
       options.filter_fp_rate, options.max_dp_relations,
-      options.exhaustive_limit);
+      options.exhaustive_limit, options.filter_menu.enabled ? 1 : 0,
+      options.filter_menu.bits_per_key,
+      options.filter_menu.classical_probe_ns,
+      options.filter_menu.blocked_probe_ns,
+      options.filter_menu.hash_probe_ns);
   sig += graph.ShapeSignature();
   return sig;
 }

@@ -7,7 +7,7 @@
 
 #include "src/common/fault_injector.h"
 #include "src/server/worker_pool.h"
-#include "src/stats/estimated_cout.h"
+#include "src/stats/estimated_cost.h"
 
 namespace bqo {
 

@@ -1,4 +1,4 @@
-#include "src/stats/estimated_cout.h"
+#include "src/stats/estimated_cost.h"
 
 #include <algorithm>
 #include <cmath>

@@ -3,7 +3,7 @@
 #include <map>
 
 #include "src/common/string_util.h"
-#include "src/stats/estimated_cout.h"
+#include "src/stats/estimated_cost.h"
 
 namespace bqo {
 

@@ -3,9 +3,9 @@
 // semi-join/join interaction must not double-count reductions.
 #include <gtest/gtest.h>
 
-#include "src/exec/exact_cout.h"
+#include "src/exec/exact_cost.h"
 #include "src/plan/pushdown.h"
-#include "src/stats/estimated_cout.h"
+#include "src/stats/estimated_cost.h"
 #include "test_util.h"
 
 namespace bqo {

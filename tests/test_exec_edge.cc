@@ -5,7 +5,7 @@
 
 #include "src/exec/executor.h"
 #include "src/plan/pushdown.h"
-#include "src/stats/estimated_cout.h"
+#include "src/stats/estimated_cost.h"
 #include "test_util.h"
 
 namespace bqo {

@@ -9,7 +9,7 @@
 //     (costing and execution cannot diverge — they share the plan).
 #include <gtest/gtest.h>
 
-#include "src/exec/exact_cout.h"
+#include "src/exec/exact_cost.h"
 #include "src/exec/executor.h"
 #include "src/optimizer/optimizer.h"
 #include "src/plan/pushdown.h"

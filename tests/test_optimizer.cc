@@ -2,7 +2,7 @@
 // Algorithms 2 & 3 (BQO), cost-based filter pruning, integration modes.
 #include <gtest/gtest.h>
 
-#include "src/exec/exact_cout.h"
+#include "src/exec/exact_cost.h"
 #include "src/exec/executor.h"
 #include "src/optimizer/bqo.h"
 #include "src/optimizer/cost_model.h"
@@ -10,7 +10,7 @@
 #include "src/optimizer/optimizer.h"
 #include "src/plan/enumerate.h"
 #include "src/plan/pushdown.h"
-#include "src/stats/estimated_cout.h"
+#include "src/stats/estimated_cost.h"
 #include "test_util.h"
 
 namespace bqo {

@@ -37,7 +37,7 @@
 #include "src/server/plan_cache.h"
 #include "src/server/query_service.h"
 #include "src/server/worker_pool.h"
-#include "src/stats/estimated_cout.h"
+#include "src/stats/estimated_cost.h"
 #include "test_util.h"
 
 namespace bqo {

@@ -1,0 +1,442 @@
+// SIMD kernel tier parity (src/common/simd.h, src/filter/filter_kernels.h).
+//
+// The dispatch contract is bit-identity: the AVX2 and scalar tiers compute
+// the same function, so nothing observable — hashes, filter bits, pass
+// sets, NumInserted journals, result checksums, merged FilterStats — may
+// depend on which tier ran. Pins:
+//
+//  * Hash batch kernels equal the scalar reference on adversarial lengths
+//    (0, 1, lane-1, lane, lane+1, 1M) for single-column and composite keys.
+//  * BlockedBloomFilter built under one tier is bit-compatible with probes
+//    under the other (both directions), agrees with the scalar reference
+//    probe, and MergeFrom over tracked partials reproduces the sequential
+//    filter's membership and NumInserted under both tiers.
+//  * The blocked FPR model curve: measured FPR tracks TheoreticalFpRate
+//    and sits above the classical filter's at equal bits (the trade the
+//    optimizer's menu prices), and the menu picks blocked when probe
+//    volume dominates vs classical when FPR leakage dominates.
+//  * E2E: star / snowflake / sort-merge plans over pools {1,2,4} and both
+//    tiers produce byte-identical checksums and merged FilterStats.
+//
+// AVX2 legs skip on hosts without AVX2 (CpuSupportsAvx2) — the scalar legs
+// and the cross-checks against the references still run everywhere.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/common/simd.h"
+#include "src/exec/executor.h"
+#include "src/filter/blocked_bloom_filter.h"
+#include "src/filter/bloom_filter.h"
+#include "src/filter/filter_kernels.h"
+#include "src/optimizer/cost_model.h"
+#include "src/plan/pushdown.h"
+#include "src/stats/estimated_cost.h"
+#include "test_util.h"
+
+namespace bqo {
+namespace {
+
+using ::bqo::testing::MakeChainDb;
+using ::bqo::testing::MakeSnowflakeDb;
+using ::bqo::testing::MakeStarDb;
+
+std::vector<int64_t> RandomValues(int n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<int64_t> v(static_cast<size_t>(n));
+  for (auto& x : v) x = static_cast<int64_t>(rng());
+  return v;
+}
+
+// Lane width of the AVX2 hash kernels is 4; 0/1/3/4/5 probe the empty,
+// all-tail, partial-tail, exact-lane, and lane+tail paths, 1M the steady
+// state (and any accidental quadratic or misaligned access).
+const int kAdversarialLengths[] = {0, 1, 3, 4, 5, 1000000};
+
+TEST(SimdHashKernels, ColumnParityOnAdversarialLengths) {
+  for (int n : kAdversarialLengths) {
+    const std::vector<int64_t> values = RandomValues(n, 0x5eed0 + n);
+    std::vector<uint64_t> ref(static_cast<size_t>(n) + 1, 0);
+    HashColumn(values.data(), n, ref.data(), /*seed=*/7);
+
+    for (SimdTier tier : {SimdTier::kScalar, SimdTier::kAvx2}) {
+      if (tier == SimdTier::kAvx2 && !CpuSupportsAvx2()) continue;
+      ScopedSimdTier force(tier);
+      std::vector<uint64_t> out(static_cast<size_t>(n) + 1, 0);
+      HashColumnKernel(values.data(), n, out.data(), /*seed=*/7);
+      for (int i = 0; i < n; ++i) {
+        ASSERT_EQ(out[static_cast<size_t>(i)], ref[static_cast<size_t>(i)])
+            << "tier=" << SimdTierName(tier) << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdHashKernels, CompositeParityOnAdversarialLengths) {
+  for (size_t num_cols : {size_t{1}, size_t{2}, size_t{3}, size_t{5}}) {
+    for (int n : kAdversarialLengths) {
+      if (n >= 1000000 && num_cols > 2) continue;  // bound test time
+      std::vector<std::vector<int64_t>> storage;
+      std::vector<const int64_t*> cols;
+      for (size_t c = 0; c < num_cols; ++c) {
+        storage.push_back(RandomValues(n, 0xc01 * (c + 1) + n));
+        cols.push_back(storage.back().data());
+      }
+      std::vector<uint64_t> ref(static_cast<size_t>(n) + 1, 0);
+      HashCompositeBatch(cols.data(), num_cols, n, ref.data(), /*seed=*/3);
+
+      for (SimdTier tier : {SimdTier::kScalar, SimdTier::kAvx2}) {
+        if (tier == SimdTier::kAvx2 && !CpuSupportsAvx2()) continue;
+        ScopedSimdTier force(tier);
+        std::vector<uint64_t> out(static_cast<size_t>(n) + 1, 0);
+        HashCompositeBatchKernel(cols.data(), num_cols, n, out.data(),
+                                 /*seed=*/3);
+        for (int i = 0; i < n; ++i) {
+          ASSERT_EQ(out[static_cast<size_t>(i)], ref[static_cast<size_t>(i)])
+              << "tier=" << SimdTierName(tier) << " cols=" << num_cols
+              << " n=" << n << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------------------------
+// Blocked Bloom: tier parity and scalar-reference parity.
+// -------------------------------------------------------------------------
+
+std::vector<uint64_t> KeyHashes(int n, uint64_t seed) {
+  const std::vector<int64_t> keys = RandomValues(n, seed);
+  std::vector<uint64_t> hashes(static_cast<size_t>(n));
+  HashColumn(keys.data(), n, hashes.data());
+  return hashes;
+}
+
+/// Batched pass set of `filter` over `hashes`, as the surviving indices.
+std::vector<uint16_t> PassSet(const BitvectorFilter& filter,
+                              const std::vector<uint64_t>& hashes) {
+  std::vector<uint16_t> sel(hashes.size());
+  for (size_t i = 0; i < sel.size(); ++i) sel[i] = static_cast<uint16_t>(i);
+  const int out = filter.MayContainBatch(hashes.data(), sel.data(),
+                                         static_cast<int>(sel.size()));
+  sel.resize(static_cast<size_t>(out));
+  return sel;
+}
+
+TEST(BlockedBloom, TierParityInsertProbeAndCrossTier) {
+  if (!CpuSupportsAvx2()) GTEST_SKIP() << "no AVX2 on this host";
+  const int kKeys = 20000;
+  const std::vector<uint64_t> keys = KeyHashes(kKeys, 0xbeef);
+  const std::vector<uint64_t> probes = KeyHashes(4096, 0xfeed);
+
+  auto build = [&](SimdTier tier) {
+    ScopedSimdTier force(tier);
+    auto f = std::make_unique<BlockedBloomFilter>(kKeys, 10.0);
+    for (uint64_t h : keys) f->Insert(h);
+    return f;
+  };
+  auto scalar_built = build(SimdTier::kScalar);
+  auto avx2_built = build(SimdTier::kAvx2);
+
+  // Same keys => same logical count and the same bits, whichever tier set
+  // them; probing under either tier must agree with the scalar reference.
+  EXPECT_EQ(scalar_built->NumInserted(), avx2_built->NumInserted());
+  for (uint64_t h : keys) {
+    ASSERT_TRUE(scalar_built->MayContain(h));  // no false negatives
+    ASSERT_TRUE(avx2_built->MayContain(h));
+  }
+  for (const auto* f : {scalar_built.get(), avx2_built.get()}) {
+    std::vector<uint16_t> ref_pass;
+    for (size_t i = 0; i < probes.size(); ++i) {
+      if (f->MayContain(probes[i])) {
+        ref_pass.push_back(static_cast<uint16_t>(i));
+      }
+    }
+    // Cross-tier probes: scalar-built probed under AVX2 and vice versa —
+    // the production mix (filters filled at build, probed in scans).
+    {
+      ScopedSimdTier force(SimdTier::kScalar);
+      EXPECT_EQ(PassSet(*f, probes), ref_pass);
+    }
+    {
+      ScopedSimdTier force(SimdTier::kAvx2);
+      EXPECT_EQ(PassSet(*f, probes), ref_pass);
+    }
+  }
+}
+
+TEST(BlockedBloom, MergeFromReproducesSequentialUnderBothTiers) {
+  const int kKeys = 30000;
+  // Duplicate-heavy key stream so the journal replay actually has
+  // cross-partition duplicates to discount.
+  std::vector<uint64_t> keys = KeyHashes(kKeys, 0xd00d);
+  for (int i = 0; i < kKeys / 4; ++i) {
+    keys.push_back(keys[static_cast<size_t>(i) * 3 % keys.size()]);
+  }
+  const std::vector<uint64_t> probes = KeyHashes(4096, 0xabba);
+
+  for (SimdTier tier : {SimdTier::kScalar, SimdTier::kAvx2}) {
+    if (tier == SimdTier::kAvx2 && !CpuSupportsAvx2()) continue;
+    ScopedSimdTier force(tier);
+
+    BlockedBloomFilter sequential(static_cast<int64_t>(keys.size()), 10.0);
+    for (uint64_t h : keys) sequential.Insert(h);
+
+    BlockedBloomFilter merged(static_cast<int64_t>(keys.size()), 10.0);
+    const size_t chunk = (keys.size() + 3) / 4;
+    for (size_t p = 0; p < 4; ++p) {
+      BlockedBloomFilter partial(static_cast<int64_t>(keys.size()), 10.0);
+      partial.EnableInsertTracking();
+      const size_t begin = p * chunk;
+      const size_t end = std::min(keys.size(), begin + chunk);
+      for (size_t i = begin; i < end; ++i) partial.Insert(keys[i]);
+      merged.MergeFrom(partial);
+    }
+
+    EXPECT_EQ(merged.NumInserted(), sequential.NumInserted())
+        << "tier=" << SimdTierName(tier);
+    for (uint64_t h : keys) ASSERT_TRUE(merged.MayContain(h));
+    EXPECT_EQ(PassSet(merged, probes), PassSet(sequential, probes))
+        << "tier=" << SimdTierName(tier);
+  }
+}
+
+TEST(BlockedBloom, MeasuredFprTracksModelAndExceedsClassical) {
+  // Tight space budget: this is the regime where the blocked layout pays
+  // for its cache-friendliness — 8 probe bits confined to one 256-bit
+  // sector collide far more than classical's spread-out bits.
+  const int kKeys = 50000;
+  const int kProbes = 200000;
+  const double kBits = 4.0;
+  const std::vector<uint64_t> keys = KeyHashes(kKeys, 0x1111);
+  // Disjoint probe hashes (different generator stream) — every pass is a
+  // false positive.
+  const std::vector<uint64_t> probes = KeyHashes(kProbes, 0x2222);
+
+  BlockedBloomFilter blocked(kKeys, kBits);
+  BloomFilter classical(kKeys, kBits);
+  for (uint64_t h : keys) {
+    blocked.Insert(h);
+    classical.Insert(h);
+  }
+  int64_t blocked_fp = 0, classical_fp = 0;
+  for (uint64_t h : probes) {
+    blocked_fp += blocked.MayContain(h) ? 1 : 0;
+    classical_fp += classical.MayContain(h) ? 1 : 0;
+  }
+  const double blocked_rate =
+      static_cast<double>(blocked_fp) / static_cast<double>(kProbes);
+  const double classical_rate =
+      static_cast<double>(classical_fp) / static_cast<double>(kProbes);
+
+  // The measured rate must track the encoded curve (the cost model's
+  // input) within a loose multiplicative band, and the blocked kind must
+  // actually pay the higher-FPR cost the menu charges it for.
+  EXPECT_GT(blocked_rate, 0.0);
+  EXPECT_LT(blocked_rate, 2.0 * blocked.TheoreticalFpRate());
+  EXPECT_GT(blocked_rate, 0.5 * blocked.TheoreticalFpRate());
+  EXPECT_GT(blocked_rate, classical_rate);
+
+  // The design-load curve in the cost model: blocked sits above classical
+  // at tight-to-moderate budgets and degrades hard as b shrinks. At
+  // generous budgets the ordering flips — the repo's classical BloomFilter
+  // caps k at 4, so blocked's fixed k=8 eventually wins on FPR too.
+  for (double b : {4.0, 6.0, 8.0, 10.0}) {
+    const double fc = EstimatedFilterFpr(FilterKind::kBloom, b);
+    const double fb = EstimatedFilterFpr(FilterKind::kBlockedBloom, b);
+    EXPECT_GT(fb, fc) << "bits=" << b;
+    EXPECT_GT(fc, 0.0);
+    EXPECT_LT(fb, 1.0);
+  }
+  EXPECT_GT(EstimatedFilterFpr(FilterKind::kBlockedBloom, 4.0),
+            2.0 * EstimatedFilterFpr(FilterKind::kBloom, 4.0));
+  EXPECT_LT(EstimatedFilterFpr(FilterKind::kBlockedBloom, 16.0),
+            EstimatedFilterFpr(FilterKind::kBloom, 16.0));
+}
+
+// -------------------------------------------------------------------------
+// Optimizer pin: the menu picks blocked when probe volume dominates and
+// classical when FPR leakage dominates.
+// -------------------------------------------------------------------------
+
+TEST(FilterMenu, ProbeVolumeDominatedPlanPicksBlocked) {
+  // Star: every filter probes the full 50k-row fact scan, and at the
+  // default 10 bits/key the FPR gap between the kinds is ~0.1% — far too
+  // small for even the depth-3 filter's leak penalty to overcome the
+  // 2.5ns/probe advantage. All picks must be blocked.
+  auto db = MakeStarDb(3, 50000, 500, {0.2, 0.5, 0.4}, 21);
+  auto graph = db->Graph();
+  ASSERT_TRUE(graph.ok());
+  JoinGraph g = graph.value();
+  AttachStatistics(&g);
+  Plan plan = BuildRightDeepPlan(g, {0, 1, 2, 3});
+  PushDownBitvectors(&plan);
+  ASSERT_FALSE(plan.filters.empty());
+
+  StatsCatalog stats(&db->catalog);
+  EstimatedCoutModel model(&stats);
+  FilterMenuOptions menu;  // defaults: 10 bits/key
+  const int blocked_picks = SelectFilterImplementations(&plan, &model, menu);
+
+  EXPECT_EQ(blocked_picks, static_cast<int>(plan.filters.size()));
+  for (const PlanFilter& f : plan.filters) {
+    EXPECT_EQ(f.chosen_kind, static_cast<int>(FilterKind::kBlockedBloom))
+        << "filter " << f.id;
+  }
+}
+
+TEST(FilterMenu, FprDominatedPlanPicksClassical) {
+  // Star where the filters push down to the fact scan: the filter created
+  // by the TOP dimension join applies three join probes below its creating
+  // join, so every false positive it leaks survives three hash-table
+  // probes before dying. At a tight space budget (4 bits/key, FPR gap
+  // ~0.18) with a barely-selective top dimension (sel 0.9 → high lambda),
+  // that leak penalty dwarfs the 2.5ns/probe advantage — the deep filter
+  // must stay classical. The bottom dimension's filter (depth 1, sel 0.1 →
+  // low lambda) leaks almost nothing and must still pick blocked: the menu
+  // discriminates per filter inside one plan.
+  auto db = MakeStarDb(3, 50000, 500, {0.9, 0.1, 0.4}, 33);
+  auto graph = db->Graph();
+  ASSERT_TRUE(graph.ok());
+  JoinGraph g = graph.value();
+  AttachStatistics(&g);
+  Plan plan = BuildRightDeepPlan(g, {0, 1, 2, 3});
+  PushDownBitvectors(&plan);
+  ASSERT_FALSE(plan.filters.empty());
+
+  StatsCatalog stats(&db->catalog);
+  EstimatedCoutModel model(&stats);
+  FilterMenuOptions menu;
+  menu.bits_per_key = 4.0;
+  SelectFilterImplementations(&plan, &model, menu);
+
+  std::vector<int> parent(plan.nodes.size(), -1);
+  for (const PlanNode* node : plan.nodes) {
+    if (node->IsLeaf()) continue;
+    parent[static_cast<size_t>(node->build->id)] = node->id;
+    parent[static_cast<size_t>(node->probe->id)] = node->id;
+  }
+  int deepest = -1, deepest_depth = 0;
+  int shallowest = -1, shallowest_depth = 1 << 20;
+  for (const PlanFilter& f : plan.filters) {
+    if (f.pruned) continue;
+    int depth = 0;
+    for (int nid = parent[static_cast<size_t>(f.applied_at)]; nid >= 0;
+         nid = parent[static_cast<size_t>(nid)]) {
+      ++depth;
+      if (nid == f.source_join) break;
+    }
+    if (depth > deepest_depth) {
+      deepest_depth = depth;
+      deepest = f.id;
+    }
+    if (depth < shallowest_depth) {
+      shallowest_depth = depth;
+      shallowest = f.id;
+    }
+  }
+  ASSERT_GE(deepest, 0);
+  ASSERT_GE(deepest_depth, 3) << "fixture should produce a deep filter";
+  EXPECT_EQ(plan.filters[static_cast<size_t>(deepest)].chosen_kind,
+            static_cast<int>(FilterKind::kBloom));
+  ASSERT_EQ(shallowest_depth, 1);
+  EXPECT_EQ(plan.filters[static_cast<size_t>(shallowest)].chosen_kind,
+            static_cast<int>(FilterKind::kBlockedBloom));
+}
+
+// -------------------------------------------------------------------------
+// E2E tier parity: checksums and merged FilterStats must be invariant
+// across tiers and pool sizes.
+// -------------------------------------------------------------------------
+
+void ExpectRunsEqual(const QueryMetrics& base, const QueryMetrics& m,
+                     const std::string& what) {
+  EXPECT_EQ(m.result_rows, base.result_rows) << what;
+  EXPECT_EQ(m.result_checksum, base.result_checksum) << what;
+  EXPECT_EQ(m.leaf_tuples, base.leaf_tuples) << what;
+  EXPECT_EQ(m.join_tuples, base.join_tuples) << what;
+  ASSERT_EQ(m.filters.size(), base.filters.size()) << what;
+  for (size_t i = 0; i < m.filters.size(); ++i) {
+    EXPECT_EQ(m.filters[i].created, base.filters[i].created) << what << " f" << i;
+    EXPECT_EQ(m.filters[i].probed, base.filters[i].probed) << what << " f" << i;
+    EXPECT_EQ(m.filters[i].passed, base.filters[i].passed) << what << " f" << i;
+    EXPECT_EQ(m.filters[i].inserted, base.filters[i].inserted)
+        << what << " f" << i;
+  }
+}
+
+void SweepTiersAndPools(const Plan& plan, ExecutionOptions options,
+                        const std::string& what) {
+  QueryMetrics base;
+  {
+    ScopedSimdTier force(SimdTier::kScalar);
+    base = ExecutePlan(plan, options);
+  }
+  ASSERT_GT(base.leaf_tuples, 0) << what;
+  for (SimdTier tier : {SimdTier::kScalar, SimdTier::kAvx2}) {
+    if (tier == SimdTier::kAvx2 && !CpuSupportsAvx2()) continue;
+    for (int threads : {1, 2, 4}) {
+      ScopedSimdTier force(tier);
+      ExecutionOptions opts = options;
+      opts.exec.threads = threads;
+      opts.exec.morsel_rows = 2048;
+      const QueryMetrics m = ExecutePlan(plan, opts);
+      ExpectRunsEqual(base, m,
+                      what + " tier=" + SimdTierName(tier) +
+                          " pool=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(SimdE2E, StarBlockedBloomTierAndPoolInvariant) {
+  auto db = MakeStarDb(3, 30000, 400, {0.3, 0.6, 0.15}, 77, /*zipf=*/0.6);
+  auto graph = db->Graph();
+  ASSERT_TRUE(graph.ok());
+  Plan plan = BuildRightDeepPlan(graph.value(), {0, 1, 2, 3});
+  PushDownBitvectors(&plan);
+
+  ExecutionOptions options;
+  options.filter_config.kind = FilterKind::kBlockedBloom;
+  options.agg.kind = AggKind::kSum;
+  options.agg.sum_column = BoundColumn{0, "measure"};
+  options.agg.has_group_by = true;
+  options.agg.group_column = BoundColumn{1, "d0_id"};
+  SweepTiersAndPools(plan, options, "star/blocked");
+}
+
+TEST(SimdE2E, SnowflakeBothBloomKindsTierAndPoolInvariant) {
+  auto db = MakeSnowflakeDb({2, 2}, 20000, 500, 0.5, {0.4, 0.5}, 1234,
+                            /*zipf=*/0.4);
+  auto graph = db->Graph();
+  ASSERT_TRUE(graph.ok());
+  Plan plan = BuildRightDeepPlan(graph.value(), {0, 1, 2, 3, 4});
+  PushDownBitvectors(&plan);
+
+  for (FilterKind kind : {FilterKind::kBloom, FilterKind::kBlockedBloom}) {
+    ExecutionOptions options;
+    options.filter_config.kind = kind;
+    SweepTiersAndPools(plan, options,
+                       std::string("snowflake/") + FilterKindName(kind));
+  }
+}
+
+TEST(SimdE2E, SortMergeBlockedBloomTierAndPoolInvariant) {
+  auto db = MakeStarDb(2, 20000, 300, {0.4, 0.25}, 909);
+  auto graph = db->Graph();
+  ASSERT_TRUE(graph.ok());
+  Plan plan = BuildRightDeepPlan(graph.value(), {0, 1, 2});
+  PushDownBitvectors(&plan);
+
+  ExecutionOptions options;
+  options.filter_config.kind = FilterKind::kBlockedBloom;
+  options.use_sort_merge_join = true;
+  SweepTiersAndPools(plan, options, "sortmerge/blocked");
+}
+
+}  // namespace
+}  // namespace bqo

@@ -17,7 +17,7 @@
 
 #include <set>
 
-#include "src/exec/exact_cout.h"
+#include "src/exec/exact_cost.h"
 #include "src/plan/enumerate.h"
 #include "src/plan/pushdown.h"
 #include "test_util.h"
