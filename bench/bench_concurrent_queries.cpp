@@ -24,6 +24,16 @@
 // "templated_queries" JSON line; BQO_TEMPLATE_ROUNDS scales its sweep
 // count (the CI cache-stress smoke raises it under TSan).
 //
+// Next a **shared-builds phase** exercises the cross-query BuildCache
+// (src/server/build_cache.h): a cache-off single-client sweep fixes the
+// reference checksums, then each client count replays the same sweep
+// through a cache-on service. Parity is mandatory (the bench exits 1 on a
+// mismatch), and the "shared_builds" JSON lines carry the cache counters —
+// lookups / hits / builds / single_flight_waits / evictions / bytes — so
+// the trajectory can assert that N clients still construct each build
+// signature once. BQO_BUILD_CACHE / BQO_BUILD_CACHE_MB overlay the phase's
+// cache configuration.
+//
 // Then an **overload phase** runs a mixed workload —
 // the cheapest half of the query set as the "short" class, the most
 // expensive as "long", plus a "deadline" class (long queries carrying a
@@ -40,10 +50,11 @@
 // them), BQO_POOL_THREADS, BQO_MORSEL_ROWS, BQO_QUEUE_BATCHES. The serving
 // knobs BQO_DEADLINE_MS / BQO_ADMISSION_QUEUE overlay the overload phase's
 // service (ApplyServingEnvOverrides), and BQO_FAULT_SITES / BQO_FAULT_EVERY
-// arm the fault injector for the whole binary (the CI fault-smoke job runs
-// exactly that: injected faults must degrade results, never hang or crash
-// the bench) — checksum verification is skipped when faults are armed,
-// since a faulted query's results are void by contract.
+// arm the fault injector for the **overload phase only** (the CI
+// fault-smoke job runs exactly that: injected faults must degrade results,
+// never hang or crash the bench). Checksum verification is skipped for the
+// overload phase alone — a faulted query's results are void by contract —
+// so the scaling, templated, and shared-builds phases always verify.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -196,6 +207,73 @@ void RunTemplatedPhase(const Workload& workload, size_t limit, int rounds,
       static_cast<long long>(cache.reoptimizations),
       static_cast<long long>(cache.drift_invalidations),
       SimdTierName(ActiveSimdTier()), clients <= hw_threads ? "true" : "false");
+}
+
+// ---- Shared-builds phase: the cross-query BuildCache under load ----
+
+/// Cross-query build sharing must be pure memoization: a cache-off
+/// single-client sweep fixes the reference checksums, then each client
+/// count replays the identical sweep through a cache-on service and must
+/// reproduce them exactly (return 1 on mismatch — this is a correctness
+/// gate, not a soft warning). The JSON lines carry the BuildCache
+/// counters; the pin for the trajectory is that `builds` (cache misses)
+/// stays at one pass's worth of signatures regardless of client count —
+/// every additional client shares, it never re-constructs.
+int RunSharedBuildsPhase(const Workload& workload, size_t limit,
+                         int max_clients, int hw_threads, int pool_threads) {
+  QueryServiceOptions off_options;
+  off_options.optimizer.mode = OptimizerMode::kBqoShallow;
+  off_options.execution.exec = ExecConfigFromEnv();
+  off_options.use_build_cache = false;
+  QueryService reference(workload.catalog.get(), off_options);
+  const SweepResult ref =
+      RunSweep(&reference, workload, limit, /*rounds=*/1, /*clients=*/1);
+
+  for (int clients = 1; clients <= max_clients; clients *= 2) {
+    QueryServiceOptions options;
+    options.optimizer.mode = OptimizerMode::kBqoShallow;
+    options.execution.exec = ExecConfigFromEnv();
+    // Honor only the build-cache env knobs here: this phase verifies
+    // checksums, so the overload knobs (deadlines, bounded admission) that
+    // legitimately void results must not leak into it.
+    const QueryServiceOptions overlaid = ApplyServingEnvOverrides(options);
+    options.use_build_cache = overlaid.use_build_cache;
+    options.build_cache_mb = overlaid.build_cache_mb;
+    QueryService service(workload.catalog.get(), options);
+
+    const SweepResult r =
+        RunSweep(&service, workload, limit, /*rounds=*/1, clients);
+    if (r.checksums != ref.checksums) {
+      std::fprintf(stderr,
+                   "[bench] MISMATCH in shared_builds at clients=%d — "
+                   "cache-on checksums differ from the cache-off reference\n",
+                   clients);
+      return 1;
+    }
+
+    const BuildCacheStats bc = service.build_cache_stats();
+    const double wall_ms = static_cast<double>(r.wall_ns) / 1e6;
+    std::printf(
+        "{\"bench\":\"shared_builds\",\"workload\":\"%s\","
+        "\"clients\":%d,\"pool_threads\":%d,\"hardware_concurrency\":%d,"
+        "\"queries\":%lld,\"wall_ms\":%.2f,\"qps\":%.1f,"
+        "\"cache_enabled\":%s,\"lookups\":%lld,\"hits\":%lld,"
+        "\"builds\":%lld,\"single_flight_waits\":%lld,\"evictions\":%lld,"
+        "\"bytes\":%lld,\"hit_rate\":%.3f,\"checksum_parity\":true,"
+        "\"simd_tier\":\"%s\",\"valid\":%s}\n",
+        workload.name.c_str(), clients, pool_threads, hw_threads,
+        static_cast<long long>(r.queries), wall_ms,
+        static_cast<double>(r.queries) /
+            (static_cast<double>(r.wall_ns) / 1e9),
+        options.use_build_cache ? "true" : "false",
+        static_cast<long long>(bc.lookups), static_cast<long long>(bc.hits),
+        static_cast<long long>(bc.misses),
+        static_cast<long long>(bc.single_flight_waits),
+        static_cast<long long>(bc.evictions), static_cast<long long>(bc.bytes),
+        bc.HitRate(), SimdTierName(ActiveSimdTier()),
+        clients <= hw_threads ? "true" : "false");
+  }
+  return 0;
 }
 
 // ---- Overload phase: mixed request classes under a bounded service ----
@@ -361,11 +439,6 @@ void RunOverloadPhase(const Workload& workload, size_t limit, int rounds,
 
 int main() {
   using namespace bqo;
-  // Fault-injection smoke mode (CI): BQO_FAULT_SITES arms the injector for
-  // the whole run; results of faulted queries are void, so the checksum
-  // cross-check is skipped — surviving without a hang or crash is the test.
-  FaultInjector::Global().ConfigureFromEnv();
-  const bool faults_armed = std::getenv("BQO_FAULT_SITES") != nullptr;
   const int rounds = EnvInt("BQO_ROUNDS", 3);
   const int max_clients = EnvInt("BQO_MAX_CLIENTS", 8);
   ExecConfig hw;
@@ -402,7 +475,7 @@ int main() {
 
     if (clients == 1) {
       base_checksums = cold.checksums;
-    } else if (cold.checksums != base_checksums && !faults_armed) {
+    } else if (cold.checksums != base_checksums) {
       std::fprintf(stderr,
                    "[bench] MISMATCH at clients=%d — result checksums "
                    "differ from clients=1\n",
@@ -440,6 +513,20 @@ int main() {
   const int template_clients = std::max(2, std::min(max_clients, 4));
   RunTemplatedPhase(workload, limit, EnvInt("BQO_TEMPLATE_ROUNDS", rounds),
                     template_clients, hw_threads, pool_threads);
+
+  // Shared-builds phase: cache-off reference checksums vs cache-on replays
+  // at every client count — a correctness gate, so it runs before any
+  // fault is armed.
+  if (RunSharedBuildsPhase(workload, limit, max_clients, hw_threads,
+                           pool_threads) != 0) {
+    return 1;
+  }
+
+  // Fault-injection smoke mode (CI): BQO_FAULT_SITES arms the injector for
+  // the overload phase only — every verifying phase has already run, so an
+  // armed fault can degrade results without masking a real checksum
+  // regression. Surviving without a hang or crash is the test.
+  FaultInjector::Global().ConfigureFromEnv();
 
   // Overload/resilience phase: mixed classes against a bounded service.
   const int overload_clients = std::max(2, std::min(max_clients, 4));

@@ -248,6 +248,8 @@ QueryMetrics ExecutePlan(const Plan& plan, const ExecutionOptions& options) {
   QueryContext local_context;
   runtime.context =
       options.context != nullptr ? options.context : &local_context;
+  runtime.build_cache = options.build_cache;
+  runtime.catalog_version = options.catalog_version;
   auto agg = CompilePlan(plan, options, &runtime);
 
   const auto start = std::chrono::steady_clock::now();

@@ -66,6 +66,14 @@ struct ExecutionOptions {
   /// cancelled execution returns partial (void) metrics — callers that
   /// pass a context must check its status() before trusting the results.
   QueryContext* context = nullptr;
+  /// Cross-query build-side cache (borrowed; may be null — then every hash
+  /// join constructs its build privately, the default for direct callers).
+  /// catalog_version is the version the plan was bound under; the cache
+  /// keys entries and in-flight constructions on it so shared builds
+  /// invalidate with the plans that reference them (src/server/
+  /// build_cache.h).
+  BuildCache* build_cache = nullptr;
+  int64_t catalog_version = 0;
 };
 
 /// \brief Execute `plan` and return its metrics. The plan must Validate()

@@ -1,12 +1,17 @@
 #include "src/exec/hash_join.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "src/common/bit_util.h"
 #include "src/common/hash.h"
 #include "src/exec/pipeline.h"
+#include "src/exec/scan.h"
 #include "src/filter/bloom_filter.h"
 #include "src/filter/filter_kernels.h"
+#include "src/optimizer/build_signature.h"
+#include "src/server/build_cache.h"
 
 namespace bqo {
 
@@ -46,11 +51,11 @@ HashJoinOperator::HashJoinOperator(std::unique_ptr<PhysicalOperator> build,
   }
 }
 
-void HashJoinOperator::DrainBuild() {
+void HashJoinOperator::DrainBuild(JoinBuildSide* side) {
   const Pipeline build_pipe = BuildProbePipeline(build_.get());
   const int workers = config_.exec.ResolvedThreads();
   if (workers > 1 && build_pipe.parallel()) {
-    build_rows_ = DrainPipelineParallel(build_pipe, config_.exec);
+    side->rows = DrainPipelineParallel(build_pipe, config_.exec);
     stats_.parallel_workers = workers;
     return;
   }
@@ -59,17 +64,18 @@ void HashJoinOperator::DrainBuild() {
     const int n = batch.num_rows;
     for (int r = 0; r < n; ++r) {
       for (int c = 0; c < build_width_; ++c) {
-        build_rows_.push_back(batch.col(c)[r]);
+        side->rows.push_back(batch.col(c)[r]);
       }
     }
   }
 }
 
-void HashJoinOperator::HashBuildRows(std::vector<uint64_t>* hashes) const {
+void HashJoinOperator::HashBuildRows(const JoinBuildSide& side,
+                                     std::vector<uint64_t>* hashes) const {
   const size_t nkeys = config_.build_key_positions.size();
   const size_t width = static_cast<size_t>(build_width_);
   const int64_t num_rows =
-      width == 0 ? 0 : static_cast<int64_t>(build_rows_.size() / width);
+      width == 0 ? 0 : static_cast<int64_t>(side.rows.size() / width);
   hashes->resize(static_cast<size_t>(num_rows));
   std::vector<int64_t> keybuf(nkeys * kBatchSize);
   const int64_t* cols[8];
@@ -81,10 +87,10 @@ void HashJoinOperator::HashBuildRows(std::vector<uint64_t>* hashes) const {
       const size_t pos =
           static_cast<size_t>(config_.build_key_positions[k]);
       for (int i = 0; i < n; ++i) {
-        dst[i] = build_rows_[(static_cast<size_t>(base) +
-                              static_cast<size_t>(i)) *
-                                 width +
-                             pos];
+        dst[i] = side.rows[(static_cast<size_t>(base) +
+                            static_cast<size_t>(i)) *
+                               width +
+                           pos];
       }
       cols[k] = dst;
     }
@@ -97,19 +103,20 @@ void HashJoinOperator::HashBuildRows(std::vector<uint64_t>* hashes) const {
   }
 }
 
-void HashJoinOperator::Open() {
-  TimerGuard timer(&stats_);
+std::shared_ptr<const JoinBuildSide> HashJoinOperator::ConstructBuildSide() {
+  auto side = std::make_shared<JoinBuildSide>();
+  side->width = build_width_;
 
-  // ---- Build phase: drain (wide when possible), hash, filter, bucketize.
+  // ---- Drain (wide when possible), hash, filter, bucketize ----
   build_->Open();
-  DrainBuild();
+  DrainBuild(side.get());
   build_->Close();
 
   std::vector<uint64_t> hashes;
-  HashBuildRows(&hashes);
-  entries_.reserve(hashes.size());
+  HashBuildRows(*side, &hashes);
+  side->entries.reserve(hashes.size());
   for (size_t r = 0; r < hashes.size(); ++r) {
-    entries_.push_back(Entry{
+    side->entries.push_back(JoinBuildSide::Entry{
         hashes[r], -1,
         static_cast<int32_t>(r * static_cast<size_t>(build_width_))});
   }
@@ -118,32 +125,102 @@ void HashJoinOperator::Open() {
   // The hashes are in canonical (single-threaded) order, so the sequential
   // and per-worker-partial fill strategies both reproduce the
   // single-threaded filter (see FillFilterParallel). A cancelled query may
-  // leave the filter partially filled; that's fine — its results are void
-  // and the probe side's strides stop claiming work anyway.
+  // leave the filter partially filled; that's fine — its results are void,
+  // the probe side's strides stop claiming work anyway, and Open() never
+  // publishes a cancelled construction to the BuildCache.
   if (config_.creates_filter_id >= 0) {
-    auto& slot =
-        runtime_->slots[static_cast<size_t>(config_.creates_filter_id)];
-    slot = CreateFilter(config_.filter_config,
-                        static_cast<int64_t>(hashes.size()));
-    FillFilterParallel(slot.get(), config_.filter_config, hashes.data(),
-                       static_cast<int64_t>(hashes.size()), config_.exec,
-                       runtime_->context);
-    FilterStats& fs =
-        runtime_->stats[static_cast<size_t>(config_.creates_filter_id)];
-    fs.created = true;
-    fs.inserted = slot->NumInserted();
-    fs.size_bytes = slot->SizeBytes();
+    side->filter = CreateFilter(config_.filter_config,
+                                static_cast<int64_t>(hashes.size()));
+    FillFilterParallel(side->filter.get(), config_.filter_config,
+                       hashes.data(), static_cast<int64_t>(hashes.size()),
+                       config_.exec, runtime_->context);
+    side->filter_inserted = side->filter->NumInserted();
+    side->filter_size_bytes = side->filter->SizeBytes();
   }
 
   // Bucketize.
   const uint64_t num_buckets =
-      NextPow2(entries_.size() < 8 ? 16 : entries_.size() * 2);
-  buckets_.assign(num_buckets, -1);
-  bucket_mask_ = num_buckets - 1;
-  for (size_t i = 0; i < entries_.size(); ++i) {
-    const uint64_t b = entries_[i].hash & bucket_mask_;
-    entries_[i].next = buckets_[b];
-    buckets_[b] = static_cast<int32_t>(i);
+      NextPow2(side->entries.size() < 8 ? 16 : side->entries.size() * 2);
+  side->buckets.assign(num_buckets, -1);
+  side->bucket_mask = num_buckets - 1;
+  for (size_t i = 0; i < side->entries.size(); ++i) {
+    const uint64_t b = side->entries[i].hash & side->bucket_mask;
+    side->entries[i].next = side->buckets[b];
+    side->buckets[b] = static_cast<int32_t>(i);
+  }
+
+  // As-if-built snapshot of the build scan's counters, replayed into a
+  // hitting query's scan stats so leaf_tuples stays identical to a cold run.
+  if (const auto* scan = dynamic_cast<const ScanOperator*>(build_.get())) {
+    side->scan_rows_out = scan->stats().rows_out;
+    side->scan_rows_prefilter = scan->stats().rows_prefilter;
+  }
+  return side;
+}
+
+void HashJoinOperator::Open() {
+  TimerGuard timer(&stats_);
+
+  // ---- Build phase: obtain the build side, shared through the server's
+  // BuildCache when one is wired up and this build is shareable, privately
+  // constructed otherwise.
+  BuildCache* cache = runtime_ != nullptr ? runtime_->build_cache : nullptr;
+  std::string signature;
+  if (cache != nullptr) {
+    signature = BuildSideSignature(*build_, config_.build_key_positions,
+                                   config_.filter_config,
+                                   config_.creates_filter_id >= 0);
+  }
+  bool built_locally = false;
+  if (signature.empty()) {
+    build_side_ = ConstructBuildSide();
+    built_locally = true;
+  } else {
+    build_side_ = cache->GetOrBuild(
+        signature, runtime_->catalog_version, runtime_->context,
+        [&]() -> std::shared_ptr<const JoinBuildSide> {
+          built_locally = true;
+          std::shared_ptr<const JoinBuildSide> side = ConstructBuildSide();
+          // A cancelled or faulted construction may be partial (drains and
+          // fills unwind at stride boundaries): never hand it to waiters.
+          if (runtime_->context != nullptr &&
+              runtime_->context->IsCancelled()) {
+            return nullptr;
+          }
+          return side;
+        });
+    if (build_side_ == nullptr) {
+      // Cancelled while waiting or building — by this query's own
+      // deadline/client or by a failed flight leader. Install an empty
+      // table so straggling probe calls and Close() stay well-defined
+      // while the query unwinds; results are void.
+      build_side_ = EmptyJoinBuildSide(build_width_);
+      built_locally = true;  // nothing as-if-built to replay
+    }
+  }
+  side_ = build_side_.get();
+
+  // Share the filter and report its stats uniformly, whether this query
+  // built the side or received it: the runtime slot co-owns the filter and
+  // the counters come from the side's as-if-built snapshot, so FilterStats
+  // are identical either way.
+  if (config_.creates_filter_id >= 0 && side_->filter != nullptr) {
+    runtime_->slots[static_cast<size_t>(config_.creates_filter_id)] =
+        side_->filter;
+    FilterStats& fs =
+        runtime_->stats[static_cast<size_t>(config_.creates_filter_id)];
+    fs.created = true;
+    fs.inserted = side_->filter_inserted;
+    fs.size_bytes = side_->filter_size_bytes;
+  }
+  if (!built_locally) {
+    // Cache hit: the build child never executed this query. Replay the
+    // side's snapshot of the build scan's counters so leaf_tuples matches
+    // the query that actually built.
+    if (auto* scan = dynamic_cast<ScanOperator*>(build_.get())) {
+      scan->stats().rows_out = side_->scan_rows_out;
+      scan->stats().rows_prefilter = side_->scan_rows_prefilter;
+    }
   }
 
   // ---- Probe side opens only after the filter exists ----
@@ -182,16 +259,16 @@ void HashJoinOperator::HashProbeBatch(ProbeState* ps) const {
   // Prefetch the bucket heads: the stride's lookups are independent, so the
   // misses overlap here instead of serializing one per probe row.
   for (int r = 0; r < n; ++r) {
-    __builtin_prefetch(&buckets_[hashes[r] & bucket_mask_], 0, 1);
+    __builtin_prefetch(&side_->buckets[hashes[r] & side_->bucket_mask], 0, 1);
   }
 }
 
-bool HashJoinOperator::KeysEqual(const Entry& entry, const Batch& batch,
-                                 int row) const {
+bool HashJoinOperator::KeysEqual(const JoinBuildSide::Entry& entry,
+                                 const Batch& batch, int row) const {
   const size_t nkeys = config_.build_key_positions.size();
   for (size_t k = 0; k < nkeys; ++k) {
     const int64_t build_val =
-        build_rows_[static_cast<size_t>(entry.row_start) +
+        side_->rows[static_cast<size_t>(entry.row_start) +
                     static_cast<size_t>(config_.build_key_positions[k])];
     const int64_t probe_val =
         batch.col(config_.probe_key_positions[k])[row];
@@ -233,7 +310,7 @@ int HashJoinOperator::WinnowResiduals(ProbeState* ps, int ncand) {
               rf.key_positions[k])];
           if (src.first) {
             for (int i = 0; i < ncand; ++i) {
-              dst[i] = build_rows_[static_cast<size_t>(ps->cand_build[i]) +
+              dst[i] = side_->rows[static_cast<size_t>(ps->cand_build[i]) +
                                    static_cast<size_t>(src.second)];
             }
           } else {
@@ -256,7 +333,7 @@ int HashJoinOperator::WinnowResiduals(ProbeState* ps, int ncand) {
                 rf.key_positions[k])];
             key[k] =
                 src.first
-                    ? build_rows_[static_cast<size_t>(ps->cand_build[pos]) +
+                    ? side_->rows[static_cast<size_t>(ps->cand_build[pos]) +
                                   static_cast<size_t>(src.second)]
                     : ps->in.col(src.second)[ps->cand_probe[pos]];
           }
@@ -290,11 +367,12 @@ bool HashJoinOperator::ProbeNext(Batch* out, ProbeState* ps,
       if (ps->pending_entry >= 0) {
         const int probe_row = ps->cursor - 1;
         while (ps->pending_entry >= 0 && ncand < capacity) {
-          const Entry& e = entries_[static_cast<size_t>(ps->pending_entry)];
+          const JoinBuildSide::Entry& e =
+              side_->entries[static_cast<size_t>(ps->pending_entry)];
           ps->pending_entry = e.next;
           if (ps->pending_entry >= 0) {
             __builtin_prefetch(
-                &entries_[static_cast<size_t>(ps->pending_entry)]);
+                &side_->entries[static_cast<size_t>(ps->pending_entry)]);
           }
           // Compare the precomputed hashes before touching key columns: a
           // chain mixes genuine duplicates with bucket collisions, and the
@@ -326,7 +404,8 @@ bool HashJoinOperator::ProbeNext(Batch* out, ProbeState* ps,
 
       const int probe_row = ps->cursor++;
       ps->pending_hash = ps->hashes[static_cast<size_t>(probe_row)];
-      ps->pending_entry = buckets_[ps->pending_hash & bucket_mask_];
+      ps->pending_entry =
+          side_->buckets[ps->pending_hash & side_->bucket_mask];
     }
     if (ncand == 0) break;  // input exhausted with nothing buffered
     ps->rows_prefilter += ncand;
@@ -340,7 +419,7 @@ bool HashJoinOperator::ProbeNext(Batch* out, ProbeState* ps,
       int64_t* dst = out->col(static_cast<int>(c)) + out->num_rows;
       if (src.first) {
         for (int j = 0; j < m; ++j) {
-          dst[j] = build_rows_[static_cast<size_t>(cand_build[sel[j]]) +
+          dst[j] = side_->rows[static_cast<size_t>(cand_build[sel[j]]) +
                                static_cast<size_t>(src.second)];
         }
       } else {
@@ -381,9 +460,10 @@ void HashJoinOperator::MergeProbeStats(ProbeState* ps) {
 void HashJoinOperator::Close() {
   MergeProbeStats(&local_probe_);
   probe_->Close();
-  buckets_.clear();
-  entries_.clear();
-  build_rows_.clear();
+  // Drop this query's reference; a cache- or peer-shared side stays alive
+  // for its other owners.
+  side_ = nullptr;
+  build_side_.reset();
 }
 
 }  // namespace bqo

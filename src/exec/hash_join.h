@@ -7,6 +7,14 @@
 // realizes Algorithm 1's filter-dependency order: every pushed-down filter's
 // contents exist before the subtree it filters starts producing tuples.
 //
+// The build result lives in an immutable JoinBuildSide (build_side.h). When
+// the runtime carries a BuildCache (src/server/build_cache.h) and this
+// build is shareable (src/optimizer/build_signature.h), Open() consults the
+// cache instead of constructing unconditionally: a hit shares another
+// query's completed build read-only and replays its as-if-built stats; a
+// miss constructs under the cache's single-flight protocol so concurrent
+// queries needing the same build pay for it once.
+//
 // The probe side is re-entrant: all per-consumer iteration state (current
 // input batch, in-progress duplicate chain, residual-filter stats) lives in
 // a ProbeState, so after Open() many exchange workers can stream batches
@@ -26,6 +34,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/exec/build_side.h"
 #include "src/exec/exec_config.h"
 #include "src/exec/operator.h"
 
@@ -69,7 +78,7 @@ class HashJoinOperator final : public PhysicalOperator {
     std::vector<uint64_t> hashes;  ///< composite key hash per row of `in`
     // Candidate stride: matched (build row, probe row, probe hash) triples
     // buffered ahead of the batched residual winnow.
-    std::vector<int32_t> cand_build;   ///< build_rows_ offsets
+    std::vector<int32_t> cand_build;   ///< build-side row offsets
     std::vector<int32_t> cand_probe;   ///< row indices into `in`
     std::vector<uint64_t> cand_hash;   ///< join-key probe hash per candidate
     std::vector<uint16_t> sel;         ///< surviving candidate positions
@@ -116,23 +125,25 @@ class HashJoinOperator final : public PhysicalOperator {
   void MergeProbeStats(ProbeState* ps);
 
  private:
-  struct Entry {
-    uint64_t hash;
-    int32_t next;       ///< chain for collisions/duplicates, -1 = end
-    int32_t row_start;  ///< offset into build_rows_ (row-major)
-  };
-
-  /// \brief Drain the build child into build_rows_ (row-major), wide when
-  /// the build side is a parallelizable pipeline, in canonical order either
-  /// way (the parallel drain reassembles morsel chunks, so the table is
-  /// byte-identical to the single-threaded build at any thread count).
-  void DrainBuild();
+  /// \brief Construct this join's build side from scratch: open/drain/close
+  /// the build child (wide when parallelizable, canonical order either
+  /// way), hash, create+fill the filter, bucketize, and snapshot the
+  /// as-if-built stats. Doubles as the BuildCache builder closure body.
+  std::shared_ptr<const JoinBuildSide> ConstructBuildSide();
+  /// \brief Drain the (already opened) build child into side->rows
+  /// (row-major), wide when the build side is a parallelizable pipeline, in
+  /// canonical order either way (the parallel drain reassembles morsel
+  /// chunks, so the table is byte-identical to the single-threaded build at
+  /// any thread count).
+  void DrainBuild(JoinBuildSide* side);
   /// \brief Composite-key hash of every build row, batched.
-  void HashBuildRows(std::vector<uint64_t>* hashes) const;
+  void HashBuildRows(const JoinBuildSide& side,
+                     std::vector<uint64_t>* hashes) const;
   /// \brief Hash every row of ps->in into ps->hashes and prefetch the
   /// bucket heads the stride is about to touch.
   void HashProbeBatch(ProbeState* ps) const;
-  bool KeysEqual(const Entry& entry, const Batch& batch, int row) const;
+  bool KeysEqual(const JoinBuildSide::Entry& entry, const Batch& batch,
+                 int row) const;
   /// \brief Batched residual-filter pass over `ncand` buffered candidates:
   /// winnows ps->sel in place and returns the surviving count.
   int WinnowResiduals(ProbeState* ps, int ncand);
@@ -142,12 +153,13 @@ class HashJoinOperator final : public PhysicalOperator {
   Config config_;
   FilterRuntime* runtime_;
 
-  // Hash table state (read-only after Open).
-  std::vector<int32_t> buckets_;  ///< -1 = empty
-  std::vector<Entry> entries_;
-  std::vector<int64_t> build_rows_;  ///< row-major build tuples
+  /// The build result (read-only after Open). Owned jointly with the
+  /// BuildCache and any other query sharing it; privately built sides have
+  /// this operator as their only owner. side_ is the borrowed raw view the
+  /// probe hot path reads through.
+  std::shared_ptr<const JoinBuildSide> build_side_;
+  const JoinBuildSide* side_ = nullptr;
   int build_width_ = 0;
-  uint64_t bucket_mask_ = 0;
 
   /// Probe state of the single-threaded Next() path (merged at Close()).
   ProbeState local_probe_;

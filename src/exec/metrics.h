@@ -167,6 +167,32 @@ struct PlanCacheStats {
   }
 };
 
+/// \brief Counters of the serving layer's build-side cache (src/server/
+/// build_cache.h). Accounting invariants the unit tests pin:
+/// hits + misses == lookups (every lookup resolves exactly one way — a
+/// shared result is a hit, anything else, including building it yourself,
+/// failing, or leaving cancelled, is a miss); single_flight_waits counts
+/// each lookup that ever parked behind a leader at most once; bytes is
+/// symmetric across insert/evict/invalidate (resident entries only).
+struct BuildCacheStats {
+  int64_t lookups = 0;
+  int64_t hits = 0;    ///< served a build constructed by another query
+  int64_t misses = 0;  ///< built privately (leader), failed, or gave up
+  /// Lookups that waited behind an in-flight construction (once per
+  /// waiter, regardless of how many times its wait loop woke).
+  int64_t single_flight_waits = 0;
+  int64_t evictions = 0;      ///< LRU entries dropped at the memory bound
+  int64_t invalidations = 0;  ///< full flushes (catalog version change)
+  int64_t entries = 0;        ///< current resident entries
+  int64_t bytes = 0;          ///< current resident bytes
+
+  double HitRate() const {
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+};
+
 /// \brief Per-outcome counters of the serving layer (src/server/
 /// query_service.h): every Execute() lands in exactly one bucket, keyed by
 /// the final QueryResult::status code, so served + shed + timed_out +

@@ -13,20 +13,34 @@
 
 namespace bqo {
 
+class BuildCache;  // src/server/build_cache.h
+
 /// \brief Shared runtime slots for bitvector filters, indexed by
 /// PlanFilter::id. A slot stays null when the filter is pruned (Section 6.3)
 /// or when execution is configured to ignore bitvectors (Table 4's
 // "same plan, filters off" comparison); consumers skip null slots.
 ///
+/// Slots are shared_ptr because a filter may be owned jointly with the
+/// server's BuildCache (a cached build side shares its filter read-only
+/// across queries); privately built filters simply have this runtime as
+/// their only owner. Filters are immutable once their creating join's
+/// Open() completes, so the sharing is data-race-free by construction.
+///
 /// Also carries the query's cancellation context: the runtime is the one
 /// piece of shared per-execution state every compiled operator holds, so
 /// it is how QueryContext reaches the drain loops (query_context.h).
 struct FilterRuntime {
-  std::vector<std::unique_ptr<BitvectorFilter>> slots;
+  std::vector<std::shared_ptr<BitvectorFilter>> slots;
   std::vector<FilterStats> stats;
   /// Borrowed; may be null (operator unit tests). ExecutePlan points this
   /// at ExecutionOptions::context, or at a private context when none given.
   QueryContext* context = nullptr;
+  /// Cross-query build-side cache (borrowed; null = every join builds
+  /// privately — the default for direct ExecutePlan callers). Set by the
+  /// QueryService together with the catalog version its plan was bound
+  /// under, so cached builds invalidate with the plans that reference them.
+  BuildCache* build_cache = nullptr;
+  int64_t catalog_version = 0;
 };
 
 /// \brief A filter application site resolved against an operator: which

@@ -103,6 +103,16 @@ class ScanOperator final : public PhysicalOperator {
     return runtime_ != nullptr ? runtime_->context : nullptr;
   }
 
+  // Build-signature derivation (src/optimizer/build_signature.h) inspects
+  // leaf scans to decide whether a hash join's build side is shareable
+  // across queries and, when it is, what identifies it.
+  const Table* table() const { return table_; }
+  const ExprPtr& predicate() const { return predicate_; }
+  /// \brief True when bitvector filters are pushed down to this scan. A
+  /// filtered scan's output depends on *other* relations' contents, so a
+  /// build drained from it must never be shared across queries.
+  bool has_runtime_filters() const { return !filters_.empty(); }
+
  private:
   /// A filter fully resolved for the per-stride loop: loop-invariant
   /// pointers hoisted so the check costs only the hash + the probe (the Cf

@@ -37,6 +37,14 @@ QueryServiceOptions ApplyServingEnvOverrides(QueryServiceOptions options) {
     const double alpha = std::atof(a);
     if (alpha > 0 && alpha <= 1) options.lambda_ewma_alpha = alpha;
   }
+  if (const char* bc = std::getenv("BQO_BUILD_CACHE")) {
+    const std::string v(bc);
+    if (v == "off" || v == "0") options.use_build_cache = false;
+  }
+  if (const char* mb = std::getenv("BQO_BUILD_CACHE_MB")) {
+    const long long bound = std::atoll(mb);
+    if (bound > 0) options.build_cache_mb = bound;
+  }
   return options;
 }
 
@@ -57,6 +65,11 @@ QueryService::QueryService(const Catalog* catalog, QueryServiceOptions options)
       options_(std::move(options)),
       stats_(catalog),
       cache_(CacheOptionsFrom(options_)) {
+  if (options_.use_build_cache) {
+    BuildCacheOptions bc;
+    bc.max_bytes = options_.build_cache_mb << 20;
+    build_cache_ = std::make_unique<BuildCache>(bc);
+  }
   const int pool = WorkerPool::Global().num_threads();
   max_concurrent_ = options_.max_concurrent_queries > 0
                         ? options_.max_concurrent_queries
@@ -232,11 +245,18 @@ QueryResult QueryService::Execute(const QuerySpec& spec,
   if (!ctx->ShouldStop()) {
     std::shared_ptr<const CachedPlan> entry;
     std::shared_ptr<const CachedPlan> feedback_entry;
+    int64_t planned_version = 0;
     {
       // Shared lock: many queries optimize concurrently; InvalidateCache
       // takes it exclusive so stats references never die under an
       // optimizer.
       std::shared_lock<std::shared_mutex> lock(optimize_mu_);
+      // One version snapshot spans plan-cache lookup, optimization,
+      // insert, *and* execution: the build cache keys shared build sides
+      // under the version this plan was bound to, so a concurrent catalog
+      // bump can never pair a new-version build with an old-version plan
+      // (or vice versa).
+      planned_version = catalog_->version();
       if (options_.use_plan_cache) {
         // Statistics are deferred: a shape hit re-estimates only the
         // relations whose constants moved (inside Lookup); the miss and
@@ -249,14 +269,13 @@ QueryResult QueryService::Execute(const QuerySpec& spec,
         JoinGraph& graph = graph_result.value();
         const std::string signature =
             PlanCache::ShapeSignature(graph, options_.optimizer);
-        // One version snapshot spans lookup, optimization, and insert: if
-        // the catalog moves on concurrently, the insert must carry the
-        // version this plan was optimized under (the cache then drops it
-        // at the next lookup) — re-reading here would stamp a stale plan
-        // with the new version and serve it forever.
-        const int64_t catalog_version = catalog_->version();
+        // The snapshot above also covers lookup and insert: if the catalog
+        // moves on concurrently, the insert must carry the version this
+        // plan was optimized under (the cache then drops it at the next
+        // lookup) — re-reading here would stamp a stale plan with the new
+        // version and serve it forever.
         PlanCache::LookupOutcome looked =
-            cache_.Lookup(signature, catalog_version, graph);
+            cache_.Lookup(signature, planned_version, graph);
         if (looked.kind == PlanCache::LookupOutcome::Kind::kServed) {
           result.plan_cache_hit = true;
           result.plan_rebound = looked.rebound;
@@ -270,7 +289,7 @@ QueryResult QueryService::Execute(const QuerySpec& spec,
           ParameterizedPlan optimized =
               OptimizeParameterized(graph, &stats_, options_.optimizer);
           result.optimize_ns = optimized.optimized.optimize_ns;
-          entry = cache_.Insert(signature, catalog_version, graph,
+          entry = cache_.Insert(signature, planned_version, graph,
                                 std::move(optimized));
           feedback_entry = entry;
         }
@@ -299,7 +318,10 @@ QueryResult QueryService::Execute(const QuerySpec& spec,
 
     // Execution is outside the optimize lock: cached plans are read-only
     // (fresh operator tree + FilterRuntime per run) and entry's shared_ptr
-    // keeps the plan alive across any concurrent invalidation.
+    // keeps the plan alive across any concurrent invalidation. Shared
+    // build sides ride under the version the plan was bound to.
+    exec.build_cache = build_cache_.get();
+    exec.catalog_version = planned_version;
     result.metrics = ExecutePlan(entry->plan, exec);
     for (const FilterStats& fs : result.metrics.filters) {
       if (fs.created && fs.probed > 0) result.used_bitvectors = true;
@@ -326,6 +348,9 @@ void QueryService::InvalidateCache() {
   std::unique_lock<std::shared_mutex> lock(optimize_mu_);
   cache_.Invalidate();
   stats_.Invalidate();
+  // Cached build sides embed the tables' contents, so a data mutation
+  // invalidates them too; executing queries keep their shared_ptrs.
+  if (build_cache_ != nullptr) build_cache_->Invalidate();
 }
 
 int QueryService::peak_concurrent() const {

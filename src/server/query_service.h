@@ -45,10 +45,18 @@
 // (pinned by tests/test_query_service.cc under TSan). Every request lands
 // in exactly one ServingStats bucket (metrics.h) keyed by its final status.
 //
+// Executions also share completed hash-join build sides through a
+// BuildCache with single-flight construction (src/server/build_cache.h):
+// N concurrent queries needing the same build pay for it once and share
+// the immutable result read-only, with per-query FilterStats and scan
+// counters replayed as-if-built so every parity invariant above still
+// holds bit-for-bit.
+//
 // Invalidation: InvalidateCache() (or any Catalog::version() bump observed
-// at lookup) flushes cached plans; InvalidateCache also refreshes the
-// StatsCatalog, and excludes itself from in-flight optimizations via a
-// shared mutex, so it is safe to call between/during requests.
+// at lookup) flushes cached plans and cached build sides; InvalidateCache
+// also refreshes the StatsCatalog, and excludes itself from in-flight
+// optimizations via a shared mutex, so it is safe to call between/during
+// requests.
 #pragma once
 
 #include <condition_variable>
@@ -61,6 +69,7 @@
 #include "src/exec/executor.h"
 #include "src/exec/query_context.h"
 #include "src/optimizer/optimizer.h"
+#include "src/server/build_cache.h"
 #include "src/server/plan_cache.h"
 #include "src/stats/table_stats.h"
 #include "src/workload/query.h"
@@ -81,6 +90,15 @@ struct QueryServiceOptions {
   int max_workers_per_query = 0;
   size_t plan_cache_capacity = 64;
   bool use_plan_cache = true;
+  /// Share completed hash-join build sides (table + bitvector filter)
+  /// across queries through a BuildCache with single-flight construction
+  /// (src/server/build_cache.h). Off = every query builds privately, the
+  /// pre-existing behavior. Env overlay: BQO_BUILD_CACHE=off|0.
+  bool use_build_cache = true;
+  /// Memory bound of the build-side cache, in MiB; <= 0 keeps the cache
+  /// (and its single-flight dedup) but makes nothing resident. Env
+  /// overlay: BQO_BUILD_CACHE_MB.
+  int64_t build_cache_mb = 64;
   /// Drift margin on observed filter lambda before a cached entry is
   /// marked stale (re-optimized on its next shape hit); <= 0 disables the
   /// feedback loop. Env overlay: BQO_DRIFT_MARGIN.
@@ -162,6 +180,11 @@ class QueryService {
   void InvalidateCache();
 
   PlanCacheStats cache_stats() const { return cache_.stats(); }
+  /// \brief Build-side cache counters; zeros when the cache is disabled.
+  BuildCacheStats build_cache_stats() const {
+    return build_cache_ != nullptr ? build_cache_->stats()
+                                   : BuildCacheStats{};
+  }
 
   int max_concurrent() const { return max_concurrent_; }
   int workers_per_query() const { return workers_per_query_; }
@@ -189,6 +212,10 @@ class QueryService {
 
   StatsCatalog stats_;
   PlanCache cache_;
+  /// Cross-query build-side cache; null when options_.use_build_cache is
+  /// false. Handed to every execution together with the catalog version
+  /// its plan was bound under.
+  std::unique_ptr<BuildCache> build_cache_;
   /// Readers = in-flight optimizations, writer = InvalidateCache (the
   /// StatsCatalog's cached references must not be cleared under a reader).
   std::shared_mutex optimize_mu_;

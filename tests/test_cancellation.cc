@@ -592,6 +592,11 @@ TEST(QueryServiceResilience, InjectedFaultsDoNotPoisonTheService) {
   QueryServiceOptions options;
   options.execution.exec.threads = 4;
   options.max_workers_per_query = 4;
+  // Build privately every run: the kWorkerTask/kFilterFill sites live in
+  // the build drain and filter fill, which a build-cache hit skips — this
+  // test is about faults on the engine path itself. Faults during *shared*
+  // builds are covered by tests/test_shared_builds.cc.
+  options.use_build_cache = false;
   QueryService service(&db->catalog, options);
 
   const QueryResult baseline = service.Execute(db->spec);
