@@ -34,6 +34,13 @@
 // signature once. BQO_BUILD_CACHE / BQO_BUILD_CACHE_MB overlay the phase's
 // cache configuration.
 //
+// An **observability-overhead phase** then measures per-query trace
+// collection (src/obs/trace.h) on vs off at one client with a monitor
+// thread dumping the service's metrics registry mid-run, and reports the
+// qps delta as an "observability_overhead" JSON line. Under BQO_TRACE=off
+// (the CI overhead-guard mode) the phase exits 1 if tracing costs more
+// than BQO_OBS_MAX_OVERHEAD percent (default 5).
+//
 // Then an **overload phase** runs a mixed workload —
 // the cheapest half of the query set as the "short" class, the most
 // expensive as "long", plus a "deadline" class (long queries carrying a
@@ -60,6 +67,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -272,6 +280,90 @@ int RunSharedBuildsPhase(const Workload& workload, size_t limit,
         static_cast<long long>(bc.evictions), static_cast<long long>(bc.bytes),
         bc.HitRate(), SimdTierName(ActiveSimdTier()),
         clients <= hw_threads ? "true" : "false");
+  }
+  return 0;
+}
+
+// ---- Observability-overhead phase: tracing must be near-free ----
+
+/// Qps with per-query trace collection on vs off — same service
+/// configuration otherwise, single client, warm plan cache (the serving
+/// steady state, where tracing's fixed per-query cost is most visible and
+/// not drowned by optimizer time). While the traces-on sweep runs, a
+/// monitor thread repeatedly DumpMetrics()s the live service: every export
+/// must be a well-formed point-in-time read mid-flight — the registry's
+/// snapshot contract, exercised under real traffic.
+///
+/// The JSON line always reports the on/off qps delta. The phase *fails*
+/// (exit 1) only when BQO_TRACE=off is set — the dedicated overhead-guard
+/// mode CI runs on a quiet machine — and the measured tracing overhead
+/// exceeds BQO_OBS_MAX_OVERHEAD percent (default 5): span collection is a
+/// handful of clock reads per query and must stay that way. Default runs
+/// report without gating (shared machines make a hard 5% gate flaky).
+int RunObservabilityPhase(const Workload& workload, size_t limit, int rounds,
+                          int hw_threads, int pool_threads) {
+  double qps[2] = {0.0, 0.0};  // [0] = traces off, [1] = traces on
+  int64_t dumps = 0;
+  for (int on = 0; on <= 1; ++on) {
+    QueryServiceOptions options;
+    options.optimizer.mode = OptimizerMode::kBqoShallow;
+    options.execution.exec = ExecConfigFromEnv();
+    options.collect_traces = on == 1;
+    QueryService service(workload.catalog.get(), options);
+    // Warm pass: populate the plan cache so the measured sweep is pure
+    // serving steady state.
+    (void)RunSweep(&service, workload, limit, /*rounds=*/1, /*clients=*/1);
+
+    std::atomic<bool> done{false};
+    std::thread monitor;
+    if (on == 1) {
+      monitor = std::thread([&service, &done, &dumps] {
+        while (!done.load(std::memory_order_acquire)) {
+          const std::string dump = service.DumpMetrics();
+          if (dump.find("bqo_serving_served_total") == std::string::npos) {
+            std::fprintf(stderr,
+                         "[bench] malformed mid-run metrics dump\n");
+            std::abort();
+          }
+          ++dumps;
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      });
+    }
+    const SweepResult r = RunSweep(&service, workload, limit, rounds,
+                                   /*clients=*/1);
+    done.store(true, std::memory_order_release);
+    if (monitor.joinable()) monitor.join();
+    qps[on] = static_cast<double>(r.queries) /
+              (static_cast<double>(r.wall_ns) / 1e9);
+  }
+
+  const double overhead_pct =
+      qps[0] > 0 ? 100.0 * (1.0 - qps[1] / qps[0]) : 0.0;
+  const char* trace_env = std::getenv("BQO_TRACE");
+  const bool gated =
+      trace_env != nullptr &&
+      (std::string(trace_env) == "off" || std::string(trace_env) == "0");
+  const int max_overhead_pct = EnvInt("BQO_OBS_MAX_OVERHEAD", 5);
+
+  std::printf(
+      "{\"bench\":\"observability_overhead\",\"workload\":\"%s\","
+      "\"clients\":1,\"pool_threads\":%d,\"hardware_concurrency\":%d,"
+      "\"queries_per_config\":%lld,\"qps_traces_off\":%.1f,"
+      "\"qps_traces_on\":%.1f,\"overhead_pct\":%.2f,"
+      "\"max_overhead_pct\":%d,\"gated\":%s,\"metrics_dumps\":%lld,"
+      "\"simd_tier\":\"%s\",\"valid\":true}\n",
+      workload.name.c_str(), pool_threads, hw_threads,
+      static_cast<long long>(limit) * rounds, qps[0], qps[1], overhead_pct,
+      max_overhead_pct, gated ? "true" : "false",
+      static_cast<long long>(dumps), SimdTierName(ActiveSimdTier()));
+
+  if (gated && overhead_pct > static_cast<double>(max_overhead_pct)) {
+    std::fprintf(stderr,
+                 "[bench] FAIL: tracing overhead %.2f%% exceeds %d%% "
+                 "(BQO_OBS_MAX_OVERHEAD) in BQO_TRACE=off guard mode\n",
+                 overhead_pct, max_overhead_pct);
+    return 1;
   }
   return 0;
 }
@@ -519,6 +611,16 @@ int main() {
   // fault is armed.
   if (RunSharedBuildsPhase(workload, limit, max_clients, hw_threads,
                            pool_threads) != 0) {
+    return 1;
+  }
+
+  // Observability-overhead phase: traces on vs off at one client, with
+  // mid-run metrics dumps from a monitor thread. Gated (exit 1 past
+  // BQO_OBS_MAX_OVERHEAD percent) only under BQO_TRACE=off — the CI
+  // overhead-guard mode. Runs before any fault is armed: a faulted sweep's
+  // qps is meaningless.
+  if (RunObservabilityPhase(workload, limit, rounds, hw_threads,
+                            pool_threads) != 0) {
     return 1;
   }
 

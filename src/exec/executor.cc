@@ -198,6 +198,21 @@ void CollectStats(PhysicalOperator* op, QueryMetrics* metrics) {
   metrics->operators.push_back(std::move(stats));
 }
 
+/// Synthesize the per-operator aggregate spans (trace.h) from the merged
+/// operator counters, mirroring the operator tree under `parent`. Post-hoc
+/// by design: the counters follow the accumulate/merge-once discipline, so
+/// the resulting subtree is identical at every pool size and thread count's
+/// worth of live spans would not be.
+void AddOperatorSpans(PhysicalOperator* op, int parent, QueryTrace* trace) {
+  const OperatorStats& s = op->stats();
+  const int id = trace->AddCompletedSpan(
+      SpanKind::kOperator, s.label.empty() ? "aggregate" : s.label, parent,
+      s.ns_inclusive, /*cpu_ns=*/0, s.worker_cpu_ns);
+  for (PhysicalOperator* child : op->children()) {
+    AddOperatorSpans(child, id, trace);
+  }
+}
+
 }  // namespace
 
 std::unique_ptr<AggregateOperator> CompilePlan(
@@ -252,6 +267,10 @@ QueryMetrics ExecutePlan(const Plan& plan, const ExecutionOptions& options) {
   runtime.catalog_version = options.catalog_version;
   auto agg = CompilePlan(plan, options, &runtime);
 
+  // Execute span: Open..Close as the driver saw it. Build spans opened by
+  // hash joins during Open() nest under it via the trace's span stack.
+  QueryTrace* trace = CtxTrace(runtime.context);
+  ScopedSpan exec_span(trace, SpanKind::kExecute, "execute");
   const auto start = std::chrono::steady_clock::now();
   const int64_t cpu_start = ThreadCpuNanos();
   const int64_t inline_start = WorkerPool::InlineTaskCpuNanos();
@@ -261,6 +280,7 @@ QueryMetrics ExecutePlan(const Plan& plan, const ExecutionOptions& options) {
   }
   agg->Close();
   const auto end = std::chrono::steady_clock::now();
+  exec_span.End();
   // Driver CPU, minus task time the driver ran inline while helping the
   // pool (those tasks report their own CPU into worker_cpu_ns — counting
   // them here too would double-bill the query).
@@ -284,6 +304,13 @@ QueryMetrics ExecutePlan(const Plan& plan, const ExecutionOptions& options) {
   metrics.cpu_ns = driver_cpu_ns;
   for (const OperatorStats& op : metrics.operators) {
     metrics.cpu_ns += op.worker_cpu_ns;
+  }
+  if (trace != nullptr) {
+    // Fold the pool-worker CPU into the execute span (merge-once, after the
+    // workers joined) and mirror the operator tree as completed spans.
+    trace->AddWorkerCpu(exec_span.id(),
+                        metrics.cpu_ns - driver_cpu_ns);
+    AddOperatorSpans(agg.get(), exec_span.id(), trace);
   }
   return metrics;
 }

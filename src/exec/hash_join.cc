@@ -171,15 +171,24 @@ void HashJoinOperator::Open() {
                                    config_.filter_config,
                                    config_.creates_filter_id >= 0);
   }
+  QueryTrace* trace =
+      runtime_ != nullptr ? CtxTrace(runtime_->context) : nullptr;
   bool built_locally = false;
   if (signature.empty()) {
+    ScopedSpan span(trace, SpanKind::kBuild, "build " + stats_.label);
     build_side_ = ConstructBuildSide();
     built_locally = true;
   } else {
+    // The acquire span covers the whole cache interaction — a hit's lookup,
+    // or a waiter's park behind the flight leader; the nested build span
+    // exists only when this query ended up constructing.
+    ScopedSpan acquire(trace, SpanKind::kBuildAcquire,
+                       "acquire " + stats_.label);
     build_side_ = cache->GetOrBuild(
         signature, runtime_->catalog_version, runtime_->context,
         [&]() -> std::shared_ptr<const JoinBuildSide> {
           built_locally = true;
+          ScopedSpan span(trace, SpanKind::kBuild, "build " + stats_.label);
           std::shared_ptr<const JoinBuildSide> side = ConstructBuildSide();
           // A cancelled or faulted construction may be partial (drains and
           // fills unwind at stride boundaries): never hand it to waiters.
@@ -241,6 +250,9 @@ void HashJoinOperator::InitProbeState(ProbeState* ps) const {
   ps->cursor = 0;
   ps->pending_entry = -1;
   ps->input_done = false;
+  ps->rows_in = 0;
+  ps->rows_matched = 0;
+  ps->pending_matched = false;
 }
 
 void HashJoinOperator::HashProbeBatch(ProbeState* ps) const {
@@ -379,6 +391,10 @@ bool HashJoinOperator::ProbeNext(Batch* out, ProbeState* ps,
           // hash test rejects collisions with one resident comparison.
           if (e.hash == ps->pending_hash &&
               KeysEqual(e, ps->in, probe_row)) {
+            if (!ps->pending_matched) {
+              ps->pending_matched = true;
+              ++ps->rows_matched;
+            }
             cand_build[ncand] = e.row_start;
             cand_probe[ncand] = probe_row;
             cand_hash[ncand] = ps->pending_hash;
@@ -403,6 +419,8 @@ bool HashJoinOperator::ProbeNext(Batch* out, ProbeState* ps,
       }
 
       const int probe_row = ps->cursor++;
+      ++ps->rows_in;
+      ps->pending_matched = false;
       ps->pending_hash = ps->hashes[static_cast<size_t>(probe_row)];
       ps->pending_entry =
           side_->buckets[ps->pending_hash & side_->bucket_mask];
@@ -453,8 +471,12 @@ void HashJoinOperator::MergeProbeStats(ProbeState* ps) {
   ps->residual_stats.clear();  // merged; a repeated Close() merges nothing
   stats_.rows_prefilter += ps->rows_prefilter;
   stats_.rows_out += ps->rows_out;
+  stats_.probe_rows_in += ps->rows_in;
+  stats_.probe_rows_matched += ps->rows_matched;
   ps->rows_prefilter = 0;
   ps->rows_out = 0;
+  ps->rows_in = 0;
+  ps->rows_matched = 0;
 }
 
 void HashJoinOperator::Close() {

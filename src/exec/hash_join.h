@@ -88,6 +88,14 @@ class HashJoinOperator final : public PhysicalOperator {
     std::vector<FilterStats> residual_stats;  ///< aligned w/ residual_filters
     int64_t rows_prefilter = 0;
     int64_t rows_out = 0;
+    // Probe-side match accounting (OperatorStats::probe_rows_in/_matched):
+    // rows_in counts consumed probe rows; rows_matched counts those whose
+    // duplicate chain produced >= 1 hash+key match. pending_matched carries
+    // the per-row "already counted" bit across a chain that resumes in a
+    // later ProbeNext call.
+    int64_t rows_in = 0;
+    int64_t rows_matched = 0;
+    bool pending_matched = false;
   };
 
   /// Pulls the next input batch into *in; false when upstream is exhausted.

@@ -19,6 +19,27 @@ struct OperatorStats {
   int plan_node_id = -1;
   int64_t rows_out = 0;         ///< after residual bitvector filters
   int64_t rows_prefilter = 0;   ///< before bitvector filters at this op
+
+  // == Probe-side match accounting (kHashJoin only) ==
+  //
+  // Per-worker accumulation in HashJoinOperator::ProbeState, merged once
+  // by MergeProbeStats (the FilterStats discipline below), so both are
+  // pool-size- and thread-count-invariant. Together they give the join's
+  // *measured* filter false-positive rate: a probe row that reaches this
+  // join without matching any build row is a tuple the join's bitvector
+  // filter should have eliminated below — so for the filter created here,
+  //   leaked   = probe_rows_in - probe_rows_matched
+  //   rejected = FilterStats::probed - FilterStats::passed
+  //   measured_fpr = leaked / (leaked + rejected)
+  // (exact when the filter's application site feeds this join directly; a
+  // lower bound when intermediate operators eliminated leaked rows first —
+  // see src/obs/explain.h).
+
+  /// Probe-side input rows this join consumed (pre-match).
+  int64_t probe_rows_in = 0;
+  /// Probe rows that matched >= 1 build row (hash + key equality, before
+  /// residual filters).
+  int64_t probe_rows_matched = 0;
   /// Wall ns inside Open+Next (children incl.). Exception: the source scan
   /// of a parallel pipeline reports the summed worker pipeline time here —
   /// CPU ns for the whole scan->probe chain, which can exceed the stage's

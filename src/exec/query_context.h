@@ -44,6 +44,12 @@
 // listeners must be registered/removed *without* holding that mutex, and
 // no code may call into the context while holding it except flag-only
 // reads (IsCancelled).
+// == Tracing ==
+//
+// The context optionally owns the query's QueryTrace (src/obs/trace.h).
+// AttachTrace is called once, by the owner, before the context is shared;
+// trace() is then a plain pointer read, null when tracing is off — every
+// instrumentation site is null-tolerant, so the off path costs one branch.
 #pragma once
 
 #include <atomic>
@@ -51,9 +57,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <utility>
 
 #include "src/common/status.h"
+#include "src/obs/trace.h"
 
 namespace bqo {
 
@@ -100,6 +109,18 @@ class QueryContext {
   /// so the listener's captures may be destroyed right after this returns.
   void RemoveCancelListener(int64_t token);
 
+  /// \brief Give the context ownership of the query's trace. Call once,
+  /// before the context is shared with workers (plain pointer write, not
+  /// synchronized against concurrent trace() readers racing the attach).
+  void AttachTrace(std::unique_ptr<QueryTrace> trace) {
+    trace_ = std::move(trace);
+  }
+  /// \brief The query's trace, or null when tracing is off.
+  QueryTrace* trace() const { return trace_.get(); }
+  /// \brief Take the trace back (the context may be client-owned and
+  /// reused; the service detaches the sealed trace into the QueryResult).
+  std::unique_ptr<QueryTrace> DetachTrace() { return std::move(trace_); }
+
  private:
   std::atomic<bool> cancelled_{false};
   std::atomic<bool> has_deadline_{false};
@@ -109,7 +130,14 @@ class QueryContext {
   Status status_;  ///< first error; guarded by mu_
   std::map<int64_t, std::function<void()>> listeners_;  ///< guarded by mu_
   int64_t next_listener_token_ = 0;                     ///< guarded by mu_
+
+  std::unique_ptr<QueryTrace> trace_;  ///< set once before sharing
 };
+
+/// \brief Null-tolerant trace accessor (mirrors CtxShouldStop below).
+inline QueryTrace* CtxTrace(QueryContext* ctx) {
+  return ctx != nullptr ? ctx->trace() : nullptr;
+}
 
 /// \brief Null-tolerant stride-boundary check (contexts are optional on
 /// direct ExecutePlan paths and in operator unit tests).

@@ -1,0 +1,205 @@
+#include "src/obs/metrics_registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/macros.h"
+#include "src/common/string_util.h"
+
+namespace bqo {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    BQO_CHECK_MSG(bounds_[i - 1] < bounds_[i],
+                  "histogram boundaries must be ascending");
+  }
+}
+
+void Histogram::Observe(double value) {
+  // First bucket whose upper bound admits the value; +Inf bucket otherwise.
+  const size_t b = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<int64_t> Histogram::CumulativeBuckets() const {
+  std::vector<int64_t> out(buckets_.size(), 0);
+  int64_t running = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    running += buckets_[i].load(std::memory_order_relaxed);
+    out[i] = running;
+  }
+  return out;
+}
+
+double Histogram::Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+std::vector<double> Histogram::DefaultLatencyBoundsMs() {
+  std::vector<double> bounds;
+  for (double b = 0.25; b <= 16384.0; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    BQO_CHECK_MSG(it->second.kind == MetricSnapshot::Kind::kCounter,
+                  ("metric re-registered with a different kind: " + name)
+                      .c_str());
+    return it->second.counter.get();
+  }
+  Entry e;
+  e.kind = MetricSnapshot::Kind::kCounter;
+  e.counter = std::make_unique<Counter>();
+  Counter* out = e.counter.get();
+  entries_.emplace(name, std::move(e));
+  return out;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    BQO_CHECK_MSG(it->second.kind == MetricSnapshot::Kind::kGauge,
+                  ("metric re-registered with a different kind: " + name)
+                      .c_str());
+    return it->second.gauge.get();
+  }
+  Entry e;
+  e.kind = MetricSnapshot::Kind::kGauge;
+  e.gauge = std::make_unique<Gauge>();
+  Gauge* out = e.gauge.get();
+  entries_.emplace(name, std::move(e));
+  return out;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    BQO_CHECK_MSG(it->second.kind == MetricSnapshot::Kind::kHistogram,
+                  ("metric re-registered with a different kind: " + name)
+                      .c_str());
+    return it->second.histogram.get();
+  }
+  Entry e;
+  e.kind = MetricSnapshot::Kind::kHistogram;
+  e.histogram = std::make_unique<Histogram>(
+      bounds.empty() ? Histogram::DefaultLatencyBoundsMs()
+                     : std::move(bounds));
+  Histogram* out = e.histogram.get();
+  entries_.emplace(name, std::move(e));
+  return out;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    MetricSnapshot s;
+    s.kind = e.kind;
+    s.name = name;
+    switch (e.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        s.value = e.counter->Value();
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        s.value = e.gauge->Value();
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        s.bounds = e.histogram->bounds();
+        s.buckets = e.histogram->CumulativeBuckets();
+        s.count = e.histogram->Count();
+        s.sum = e.histogram->Sum();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJsonLines(
+    const std::vector<MetricSnapshot>& snapshot) {
+  std::string out;
+  for (const MetricSnapshot& s : snapshot) {
+    switch (s.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        out += StringFormat("{\"metric\":\"%s\",\"type\":\"counter\","
+                            "\"value\":%lld}\n",
+                            s.name.c_str(),
+                            static_cast<long long>(s.value));
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        out += StringFormat("{\"metric\":\"%s\",\"type\":\"gauge\","
+                            "\"value\":%lld}\n",
+                            s.name.c_str(),
+                            static_cast<long long>(s.value));
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        out += StringFormat("{\"metric\":\"%s\",\"type\":\"histogram\","
+                            "\"count\":%lld,\"sum\":%.6f,\"buckets\":[",
+                            s.name.c_str(), static_cast<long long>(s.count),
+                            s.sum);
+        for (size_t i = 0; i < s.buckets.size(); ++i) {
+          const std::string le =
+              i < s.bounds.size() ? StringFormat("%g", s.bounds[i]) : "inf";
+          out += StringFormat("%s{\"le\":\"%s\",\"count\":%lld}",
+                              i == 0 ? "" : ",", le.c_str(),
+                              static_cast<long long>(s.buckets[i]));
+        }
+        out += "]}\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToPrometheusText(
+    const std::vector<MetricSnapshot>& snapshot) {
+  std::string out;
+  for (const MetricSnapshot& s : snapshot) {
+    switch (s.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        out += StringFormat("# TYPE %s counter\n%s %lld\n", s.name.c_str(),
+                            s.name.c_str(), static_cast<long long>(s.value));
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        out += StringFormat("# TYPE %s gauge\n%s %lld\n", s.name.c_str(),
+                            s.name.c_str(), static_cast<long long>(s.value));
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        out += StringFormat("# TYPE %s histogram\n", s.name.c_str());
+        for (size_t i = 0; i < s.buckets.size(); ++i) {
+          const std::string le =
+              i < s.bounds.size() ? StringFormat("%g", s.bounds[i]) : "+Inf";
+          out += StringFormat("%s_bucket{le=\"%s\"} %lld\n", s.name.c_str(),
+                              le.c_str(),
+                              static_cast<long long>(s.buckets[i]));
+        }
+        out += StringFormat("%s_sum %.6f\n%s_count %lld\n", s.name.c_str(),
+                            s.sum, s.name.c_str(),
+                            static_cast<long long>(s.count));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* global = new MetricsRegistry();
+  return *global;
+}
+
+}  // namespace bqo

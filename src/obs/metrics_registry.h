@@ -1,0 +1,148 @@
+// MetricsRegistry: named counters, gauges, and fixed-boundary histograms
+// behind one snapshot API — the engine's operational counters, exportable
+// as JSON lines and Prometheus text exposition.
+//
+// == Hot path ==
+//
+// Callers register a metric once (GetCounter/GetGauge/GetHistogram take
+// the registry mutex) and cache the returned pointer — pointers are stable
+// for the registry's lifetime. The increment/observe path is lock-free:
+// one relaxed atomic RMW per counter bump, a handful per histogram
+// observation. That is what lets QueryService::RecordOutcome drop its
+// mutex: per-outcome tallies become relaxed atomic adds, and a mid-flight
+// snapshot reads each value atomically instead of loading a struct's
+// fields non-atomically while writers race.
+//
+// == Naming scheme ==
+//
+// `bqo_<component>_<what>[_total]`: counters end in _total
+// (bqo_serving_served_total), gauges name a current level
+// (bqo_plan_cache_entries), histograms name the measured quantity with its
+// unit (bqo_query_latency_ms). Dumps are name-sorted, so exports are
+// deterministic.
+//
+// == Snapshot semantics ==
+//
+// Snapshot() loads every metric atomically under the registration mutex.
+// Each value is a real point value (never torn); counters incremented by
+// concurrent in-flight requests may be mid-transition relative to each
+// other — the dump is a consistent read of each metric, which is the
+// contract monitoring needs (Prometheus scrapes are exactly this).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bqo {
+
+/// \brief Monotonic counter; lock-free increments.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// \brief Point-in-time level; lock-free set/read.
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// \brief Fixed-boundary histogram (boundaries are upper bounds, ascending;
+/// an implicit +Inf bucket catches the rest). Observe is lock-free: one
+/// relaxed add into the bucket, one into count, a CAS loop for the double
+/// sum.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// \brief Cumulative count per bucket i (value <= bounds[i]), plus the
+  /// +Inf bucket last — the Prometheus `le` convention.
+  std::vector<int64_t> CumulativeBuckets() const;
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const;
+
+  /// \brief Default latency boundaries, in milliseconds: 0.25 ms to ~16 s,
+  /// doubling.
+  static std::vector<double> DefaultLatencyBoundsMs();
+
+ private:
+  const std::vector<double> bounds_;
+  std::vector<std::atomic<int64_t>> buckets_;  ///< bounds_.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// \brief One metric's point-in-time value (see Snapshot semantics above).
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  Kind kind = Kind::kCounter;
+  std::string name;
+  int64_t value = 0;  ///< counter/gauge
+  // Histogram detail (cumulative buckets, le convention; +Inf last).
+  std::vector<double> bounds;
+  std::vector<int64_t> buckets;
+  int64_t count = 0;
+  double sum = 0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// \brief Find-or-create; the returned pointer is stable for the
+  /// registry's lifetime (cache it; see Hot path above). Dies if `name`
+  /// is already registered as a different metric kind.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` applies on first registration only (upper bounds, ascending);
+  /// empty = Histogram::DefaultLatencyBoundsMs().
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  /// \brief Name-sorted point-in-time values of every registered metric.
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// \brief One JSON object per line per metric.
+  static std::string ToJsonLines(const std::vector<MetricSnapshot>& snapshot);
+  /// \brief Prometheus text exposition format.
+  static std::string ToPrometheusText(
+      const std::vector<MetricSnapshot>& snapshot);
+
+  /// \brief Process-wide registry for engine-global counters. Components
+  /// that can be instantiated more than once per process (QueryService in
+  /// tests) own their own registry instead, so instances never mix.
+  static MetricsRegistry& Global();
+
+ private:
+  struct Entry {
+    MetricSnapshot::Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;  ///< ordered => deterministic dumps
+};
+
+}  // namespace bqo

@@ -40,7 +40,8 @@ std::string PlanCache::ShapeSignature(const JoinGraph& graph,
 
 PlanCache::LookupOutcome PlanCache::Lookup(const std::string& shape_signature,
                                            int64_t catalog_version,
-                                           const JoinGraph& query_graph) {
+                                           const JoinGraph& query_graph,
+                                           QueryTrace* trace) {
   LookupOutcome out;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -92,6 +93,7 @@ PlanCache::LookupOutcome PlanCache::Lookup(const std::string& shape_signature,
 
   // Re-bind: private instance with the cached join order, the query's
   // predicates, and fresh selectivities for the moved relations only.
+  ScopedSpan rebind_span(trace, SpanKind::kRebind, "rebind");
   auto inst = std::make_shared<CachedPlan>();
   inst->graph = entry.graph;  // optimize-time constants + statistics
   for (int r : moved) {

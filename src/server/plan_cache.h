@@ -76,6 +76,7 @@
 #include <vector>
 
 #include "src/exec/metrics.h"
+#include "src/obs/trace.h"
 #include "src/optimizer/parameterized.h"
 
 namespace bqo {
@@ -149,9 +150,11 @@ class PlanCache {
   /// moved relations are re-estimated, against the entry's recorded
   /// values). `catalog_version` is the current Catalog::version(); if it
   /// differs from the version the cache last saw, every entry is flushed
-  /// first (counted as one invalidation) and the lookup misses.
+  /// first (counted as one invalidation) and the lookup misses. `trace`
+  /// (optional) records the re-bind work as a span (src/obs/trace.h).
   LookupOutcome Lookup(const std::string& shape_signature,
-                       int64_t catalog_version, const JoinGraph& query_graph);
+                       int64_t catalog_version, const JoinGraph& query_graph,
+                       QueryTrace* trace = nullptr);
 
   /// \brief Insert the result of optimizing `graph` under
   /// `shape_signature`, copying the graph so the entry outlives the

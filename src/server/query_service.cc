@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <utility>
 
 #include "src/common/fault_injector.h"
+#include "src/common/string_util.h"
 #include "src/server/worker_pool.h"
 #include "src/stats/estimated_cost.h"
 
@@ -45,6 +47,14 @@ QueryServiceOptions ApplyServingEnvOverrides(QueryServiceOptions options) {
     const long long bound = std::atoll(mb);
     if (bound > 0) options.build_cache_mb = bound;
   }
+  if (const char* t = std::getenv("BQO_TRACE")) {
+    const std::string v(t);
+    if (v == "off" || v == "0") options.collect_traces = false;
+  }
+  if (const char* s = std::getenv("BQO_SLOW_QUERY_MS")) {
+    // 0 is meaningful: log every finished query.
+    options.slow_query_ms = std::atoll(s);
+  }
   return options;
 }
 
@@ -80,6 +90,42 @@ QueryService::QueryService(const Catalog* catalog, QueryServiceOptions options)
   workers_per_query_ = options_.max_workers_per_query > 0
                            ? options_.max_workers_per_query
                            : std::max(1, pool / max_concurrent_);
+  RegisterMetrics();
+}
+
+void QueryService::RegisterMetrics() {
+  served_total_ = registry_.GetCounter("bqo_serving_served_total");
+  shed_total_ = registry_.GetCounter("bqo_serving_shed_total");
+  timed_out_total_ = registry_.GetCounter("bqo_serving_timed_out_total");
+  cancelled_total_ = registry_.GetCounter("bqo_serving_cancelled_total");
+  failed_total_ = registry_.GetCounter("bqo_serving_failed_total");
+  slow_queries_total_ =
+      registry_.GetCounter("bqo_serving_slow_queries_total");
+  query_latency_ms_ = registry_.GetHistogram("bqo_query_latency_ms");
+  admission_wait_ms_ = registry_.GetHistogram("bqo_admission_wait_ms");
+  static const char* kPlanCacheNames[9] = {
+      "bqo_plan_cache_hits",          "bqo_plan_cache_misses",
+      "bqo_plan_cache_evictions",     "bqo_plan_cache_invalidations",
+      "bqo_plan_cache_entries",       "bqo_plan_cache_shape_hits",
+      "bqo_plan_cache_rebinds",       "bqo_plan_cache_reoptimizations",
+      "bqo_plan_cache_drift_invalidations"};
+  for (int i = 0; i < 9; ++i) {
+    plan_cache_gauges_[i] = registry_.GetGauge(kPlanCacheNames[i]);
+  }
+  static const char* kBuildCacheNames[8] = {
+      "bqo_build_cache_lookups",   "bqo_build_cache_hits",
+      "bqo_build_cache_misses",    "bqo_build_cache_single_flight_waits",
+      "bqo_build_cache_evictions", "bqo_build_cache_invalidations",
+      "bqo_build_cache_entries",   "bqo_build_cache_bytes"};
+  for (int i = 0; i < 8; ++i) {
+    build_cache_gauges_[i] = registry_.GetGauge(kBuildCacheNames[i]);
+  }
+  static const char* kAdmissionNames[3] = {"bqo_admission_active",
+                                           "bqo_admission_waiting",
+                                           "bqo_admission_peak"};
+  for (int i = 0; i < 3; ++i) {
+    admission_gauges_[i] = registry_.GetGauge(kAdmissionNames[i]);
+  }
 }
 
 Status QueryService::Admit(QueryContext* ctx) {
@@ -181,17 +227,16 @@ void QueryService::Release() {
 }
 
 void QueryService::RecordOutcome(const Status& status) {
-  std::lock_guard<std::mutex> lock(admit_mu_);
   if (status.ok()) {
-    ++serving_.served;
+    served_total_->Increment();
   } else if (status.IsResourceExhausted()) {
-    ++serving_.shed;
+    shed_total_->Increment();
   } else if (status.IsDeadlineExceeded()) {
-    ++serving_.timed_out;
+    timed_out_total_->Increment();
   } else if (status.IsCancelled()) {
-    ++serving_.cancelled;
+    cancelled_total_->Increment();
   } else {
-    ++serving_.failed;
+    failed_total_->Increment();
   }
 }
 
@@ -210,12 +255,35 @@ QueryResult QueryService::Execute(const QuerySpec& spec,
   result.query_name = spec.name;
   result.num_joins = spec.num_joins();
 
-  const Status admitted = Admit(ctx);
+  // Tracing: the context owns the trace for the duration of the call so
+  // every layer below (plan cache, executor, hash-join builds) reaches it
+  // through the one shared handle they already hold.
+  const auto started = std::chrono::steady_clock::now();
+  QueryTrace* trace = nullptr;
+  if (options_.collect_traces) {
+    ctx->AttachTrace(std::make_unique<QueryTrace>());
+    trace = ctx->trace();
+  }
+  const int query_span =
+      trace != nullptr ? trace->BeginSpan(SpanKind::kQuery, spec.name) : -1;
+
+  Status admitted;
+  {
+    ScopedSpan admit_span(trace, SpanKind::kAdmissionWait, "admit");
+    admitted = Admit(ctx);
+  }
+  admission_wait_ms_->Observe(
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - started)
+              .count()) /
+      1e6);
   if (!admitted.ok()) {
     // Shed, timed out in line, or cancelled while waiting: never ran, no
     // slot to release.
     result.status = admitted;
     RecordOutcome(result.status);
+    FinishQuery(&result, ctx, query_span, started);
     return result;
   }
   if (options_.post_admit_hook) options_.post_admit_hook();
@@ -242,8 +310,10 @@ QueryResult QueryService::Execute(const QuerySpec& spec,
 
   // ShouldStop rather than IsCancelled: a deadline that expired during the
   // admission wait must stop the query here, before planning.
+  // `entry` outlives the block: the EXPLAIN ANALYZE report below re-costs
+  // the executed plan after the outcome is final.
+  std::shared_ptr<const CachedPlan> entry;
   if (!ctx->ShouldStop()) {
-    std::shared_ptr<const CachedPlan> entry;
     std::shared_ptr<const CachedPlan> feedback_entry;
     int64_t planned_version = 0;
     {
@@ -274,8 +344,10 @@ QueryResult QueryService::Execute(const QuerySpec& spec,
         // plan was optimized under (the cache then drops it at the next
         // lookup) — re-reading here would stamp a stale plan with the new
         // version and serve it forever.
+        ScopedSpan lookup_span(trace, SpanKind::kPlanCacheLookup, "lookup");
         PlanCache::LookupOutcome looked =
-            cache_.Lookup(signature, planned_version, graph);
+            cache_.Lookup(signature, planned_version, graph, trace);
+        lookup_span.End();
         if (looked.kind == PlanCache::LookupOutcome::Kind::kServed) {
           result.plan_cache_hit = true;
           result.plan_rebound = looked.rebound;
@@ -285,9 +357,11 @@ QueryResult QueryService::Execute(const QuerySpec& spec,
           // Miss — or an escalation (out-of-band re-bound selectivity, or
           // an entry gone stale under lambda drift), where Insert
           // replaces the refused entry.
+          ScopedSpan optimize_span(trace, SpanKind::kOptimize, "optimize");
           AttachStatistics(&graph);
           ParameterizedPlan optimized =
               OptimizeParameterized(graph, &stats_, options_.optimizer);
+          optimize_span.End();
           result.optimize_ns = optimized.optimized.optimize_ns;
           entry = cache_.Insert(signature, planned_version, graph,
                                 std::move(optimized));
@@ -298,8 +372,10 @@ QueryResult QueryService::Execute(const QuerySpec& spec,
         BQO_CHECK_MSG(graph_result.ok(),
                       ("query failed to bind: " + spec.name).c_str());
         const JoinGraph& graph = graph_result.value();
+        ScopedSpan optimize_span(trace, SpanKind::kOptimize, "optimize");
         OptimizedQuery optimized =
             OptimizeQuery(graph, &stats_, options_.optimizer);
+        optimize_span.End();
         result.optimize_ns = optimized.optimize_ns;
         // Uncached path still needs the graph to outlive this scope; reuse
         // the cache entry layout without touching the cache.
@@ -341,7 +417,95 @@ QueryResult QueryService::Execute(const QuerySpec& spec,
   result.status = ctx->status();
   Release();
   RecordOutcome(result.status);
+  FinishQuery(&result, ctx, query_span, started);
+
+  // EXPLAIN ANALYZE: recover the optimizer's per-node cardinality
+  // estimates for the executed plan (under the shared optimize lock — the
+  // cost model reads the StatsCatalog) and join them with the executed
+  // metrics and the sealed trace. OK queries only: a cancelled query's
+  // counters are void by contract.
+  if (options_.explain_analyze && result.status.ok() && entry != nullptr) {
+    std::shared_lock<std::shared_mutex> lock(optimize_mu_);
+    CoutBreakdown estimates =
+        EstimatedCoutModel(&stats_, options_.optimizer.filter_fp_rate)
+            .Compute(entry->plan);
+    auto report = std::make_shared<ExplainReport>(
+        BuildExplainReport(entry->plan, result.metrics, estimates,
+                           exec.filter_config, result.trace.get()));
+    report->query_name = spec.name;
+    result.explain = std::move(report);
+  }
   return result;
+}
+
+void QueryService::FinishQuery(
+    QueryResult* result, QueryContext* ctx, int query_span,
+    std::chrono::steady_clock::time_point started) {
+  const double total_ms =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - started)
+              .count()) /
+      1e6;
+  query_latency_ms_->Observe(total_ms);
+
+  QueryTrace* trace = ctx->trace();
+  if (trace != nullptr) {
+    // A clean query closes its root span; a failed one leaves it (and
+    // anything the unwind skipped) open for Seal to mark truncated — the
+    // trace records how far the query got either way.
+    if (result->status.ok() && query_span >= 0) trace->EndSpan(query_span);
+    trace->Seal(result->status.ok(), result->status.ToString());
+    result->trace = std::shared_ptr<const QueryTrace>(ctx->DetachTrace());
+  }
+
+  if (options_.slow_query_ms >= 0 &&
+      total_ms >= static_cast<double>(options_.slow_query_ms)) {
+    slow_queries_total_->Increment();
+    std::string report = StringFormat(
+        "[slow query] %s: status %s, wall %.3f ms, cpu %.3f ms, "
+        "rows %lld%s%s\n",
+        result->query_name.c_str(), result->status.ToString().c_str(),
+        total_ms, static_cast<double>(result->metrics.cpu_ns) / 1e6,
+        static_cast<long long>(result->metrics.result_rows),
+        result->plan_cache_hit ? ", plan cache hit" : "",
+        result->plan_rebound ? " (rebound)" : "");
+    if (result->trace != nullptr) {
+      report += RenderSpans(result->trace->spans());
+    }
+    if (options_.slow_query_sink) {
+      options_.slow_query_sink(report);
+    } else {
+      std::fprintf(stderr, "%s", report.c_str());
+    }
+  }
+}
+
+std::string QueryService::DumpMetrics(MetricsFormat format) const {
+  // Mirror the component-owned counters into gauges, then render one
+  // snapshot. Each metric reads atomically (or under its component's own
+  // mutex), so a mid-run dump never sees a torn value.
+  const PlanCacheStats pc = cache_.stats();
+  const int64_t pc_values[9] = {
+      pc.hits,       pc.misses,  pc.evictions,
+      pc.invalidations, pc.entries, pc.shape_hits,
+      pc.rebinds,    pc.reoptimizations, pc.drift_invalidations};
+  for (int i = 0; i < 9; ++i) plan_cache_gauges_[i]->Set(pc_values[i]);
+  const BuildCacheStats bc = build_cache_stats();
+  const int64_t bc_values[8] = {
+      bc.lookups,   bc.hits,          bc.misses, bc.single_flight_waits,
+      bc.evictions, bc.invalidations, bc.entries, bc.bytes};
+  for (int i = 0; i < 8; ++i) build_cache_gauges_[i]->Set(bc_values[i]);
+  {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    admission_gauges_[0]->Set(active_);
+    admission_gauges_[1]->Set(waiting_);
+    admission_gauges_[2]->Set(peak_);
+  }
+  const std::vector<MetricSnapshot> snapshot = registry_.Snapshot();
+  return format == MetricsFormat::kPrometheus
+             ? MetricsRegistry::ToPrometheusText(snapshot)
+             : MetricsRegistry::ToJsonLines(snapshot);
 }
 
 void QueryService::InvalidateCache() {
@@ -359,13 +523,17 @@ int QueryService::peak_concurrent() const {
 }
 
 int64_t QueryService::queries_served() const {
-  std::lock_guard<std::mutex> lock(admit_mu_);
-  return serving_.served;
+  return served_total_->Value();
 }
 
 ServingStats QueryService::serving_stats() const {
-  std::lock_guard<std::mutex> lock(admit_mu_);
-  return serving_;
+  ServingStats out;
+  out.served = served_total_->Value();
+  out.shed = shed_total_->Value();
+  out.timed_out = timed_out_total_->Value();
+  out.cancelled = cancelled_total_->Value();
+  out.failed = failed_total_->Value();
+  return out;
 }
 
 }  // namespace bqo

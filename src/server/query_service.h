@@ -59,6 +59,7 @@
 // requests.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <memory>
@@ -68,6 +69,9 @@
 
 #include "src/exec/executor.h"
 #include "src/exec/query_context.h"
+#include "src/obs/explain.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
 #include "src/optimizer/optimizer.h"
 #include "src/server/build_cache.h"
 #include "src/server/plan_cache.h"
@@ -125,12 +129,32 @@ struct QueryServiceOptions {
   /// planning — deterministic overload/cancellation tests park admitted
   /// queries here to force a full house without timing races.
   std::function<void()> post_admit_hook;
+
+  // ---- Observability (src/obs) ----
+
+  /// Collect a per-query trace span tree (QueryTrace, handed back in
+  /// QueryResult::trace). Spans are per *phase*, never per batch, so the
+  /// cost is a handful of clock reads per query; turn off to shave the
+  /// last percent at peak qps. Env overlay: BQO_TRACE=off|0.
+  bool collect_traces = true;
+  /// Build the EXPLAIN ANALYZE estimate-vs-actual report for OK queries
+  /// (QueryResult::explain). Off by default: it re-runs the estimated cost
+  /// model per query to recover the optimizer's per-node cardinalities.
+  bool explain_analyze = false;
+  /// Log queries whose wall time (admission wait included) reaches this
+  /// many ms to slow_query_sink. -1 = off; 0 = log every finished query
+  /// (the deterministic setting tests use). Env overlay: BQO_SLOW_QUERY_MS.
+  int64_t slow_query_ms = -1;
+  /// Slow-query destination; default writes the report to stderr. The
+  /// report carries the query's one-line outcome plus its span tree.
+  std::function<void(const std::string&)> slow_query_sink;
 };
 
 /// \brief Overlay the serving env knobs (BQO_DEADLINE_MS,
 /// BQO_ADMISSION_QUEUE, BQO_PLAN_CACHE_CAP, BQO_SEL_BAND,
-/// BQO_DRIFT_MARGIN, BQO_EWMA_ALPHA) onto `options` — how bench binaries
-/// plumb them in; the library itself never reads the environment.
+/// BQO_DRIFT_MARGIN, BQO_EWMA_ALPHA, BQO_TRACE, BQO_SLOW_QUERY_MS) onto
+/// `options` — how bench binaries plumb them in; the library itself never
+/// reads the environment.
 QueryServiceOptions ApplyServingEnvOverrides(QueryServiceOptions options);
 
 /// \brief One served query's outcome (the concurrent analogue of
@@ -152,6 +176,14 @@ struct QueryResult {
   /// This query's plan was a shape hit with >= 1 constant slot re-bound
   /// (false on an exact-constant hit, a miss, or a re-optimization).
   bool plan_rebound = false;
+  /// The query's sealed trace (options.collect_traces only). A non-OK
+  /// query's trace is still well-formed — its open spans are closed as
+  /// truncated and the final status is recorded.
+  std::shared_ptr<const QueryTrace> trace;
+  /// EXPLAIN ANALYZE report (options.explain_analyze, OK queries only):
+  /// per-operator est-vs-actual rows and per-filter est/observed lambda +
+  /// modeled/measured FPR (src/obs/explain.h).
+  std::shared_ptr<const ExplainReport> explain;
 };
 
 class QueryService {
@@ -193,8 +225,22 @@ class QueryService {
   int peak_concurrent() const;
   /// \brief Queries completed with an OK status (== serving_stats().served).
   int64_t queries_served() const;
-  /// \brief Per-outcome request counters (see metrics.h).
+  /// \brief Per-outcome request counters (see metrics.h). Assembled from
+  /// the registry's atomic counters, so mid-run reads from monitor threads
+  /// are exact per field — no torn loads, no lock against the serving path.
   ServingStats serving_stats() const;
+
+  enum class MetricsFormat { kJsonLines, kPrometheus };
+  /// \brief Export every engine metric: the serving outcome counters and
+  /// latency histograms live in the registry; plan-cache, build-cache, and
+  /// admission levels are mirrored into gauges at dump time, then one
+  /// snapshot renders in the requested format. Safe to call from a monitor
+  /// thread while queries run.
+  std::string DumpMetrics(MetricsFormat format = MetricsFormat::kJsonLines)
+      const;
+  /// \brief This service's metric registry (per-instance, so concurrently
+  /// constructed services in tests never mix counters).
+  const MetricsRegistry& metrics_registry() const { return registry_; }
 
  private:
   /// Admit under `ctx`'s deadline/cancellation and the service's queue
@@ -202,8 +248,17 @@ class QueryService {
   /// non-OK = the request never ran and the status says why.
   Status Admit(QueryContext* ctx);
   void Release();
-  /// Tally `status` into serving_; call exactly once per Execute().
+  /// Tally `status` into the outcome counters; call exactly once per
+  /// Execute(). Lock-free (one relaxed counter add).
   void RecordOutcome(const Status& status);
+  /// Register the serving counters/histograms/gauges and cache their
+  /// stable pointers (ctor only).
+  void RegisterMetrics();
+  /// Seal the trace, attach it (and the slow-query report) to `result`,
+  /// and record the latency histogram. Call exactly once per Execute(),
+  /// after the outcome status is final.
+  void FinishQuery(QueryResult* result, QueryContext* ctx, int query_span,
+                   std::chrono::steady_clock::time_point started);
 
   const Catalog* catalog_;
   QueryServiceOptions options_;
@@ -225,7 +280,24 @@ class QueryService {
   int active_ = 0;
   int peak_ = 0;
   int waiting_ = 0;  ///< queued for admission (the shed bound's subject)
-  ServingStats serving_;
+
+  /// Engine metrics (src/obs/metrics_registry.h). The serving outcome
+  /// tallies live here as atomic counters — RecordOutcome is lock-free and
+  /// serving_stats() reads are exact per field. Pointers below are cached
+  /// at construction (stable for the registry's lifetime).
+  MetricsRegistry registry_;
+  Counter* served_total_ = nullptr;
+  Counter* shed_total_ = nullptr;
+  Counter* timed_out_total_ = nullptr;
+  Counter* cancelled_total_ = nullptr;
+  Counter* failed_total_ = nullptr;
+  Counter* slow_queries_total_ = nullptr;
+  Histogram* query_latency_ms_ = nullptr;
+  Histogram* admission_wait_ms_ = nullptr;
+  /// Dump-time mirrors of component-owned counters (name -> gauge).
+  Gauge* plan_cache_gauges_[9] = {};
+  Gauge* build_cache_gauges_[8] = {};
+  Gauge* admission_gauges_[3] = {};
 };
 
 }  // namespace bqo
